@@ -1,0 +1,52 @@
+// Shared scaffolding for the table benches: flag handling and the
+// family-grouped rendering the paper's tables use.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "costmodel/evaluation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace mwr::bench {
+
+/// Builds the EvalConfig from the standard bench flags; --full overrides
+/// the reduced defaults with the paper-scale configuration.
+inline costmodel::EvalConfig eval_config_from(const util::Cli& cli) {
+  costmodel::EvalConfig config;
+  config.seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  config.max_size = static_cast<std::size_t>(cli.get_int("max-size"));
+  config.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (cli.get_flag("full")) {
+    config.seeds = 100;
+    config.max_size = 16384;
+  }
+  return config;
+}
+
+/// Emits one paper-style table from the evaluation cells: one row per
+/// dataset, one column per algorithm, family separators between groups.
+/// `cell_text` renders one EvalCell into its cell string.
+template <typename CellText>
+void emit_grouped_table(const std::vector<costmodel::EvalCell>& cells,
+                        const std::string& title, CellText&& cell_text,
+                        const std::string& csv_path) {
+  util::Table table(title);
+  table.set_header({"Scenario", "Size", "Standard", "Distributed", "Slate"});
+  std::string family;
+  // Cells arrive dataset-major in column order Standard, Distributed, Slate.
+  for (std::size_t i = 0; i + 2 < cells.size(); i += 3) {
+    if (!family.empty() && cells[i].family != family) table.add_separator();
+    family = cells[i].family;
+    table.add_row({cells[i].dataset, std::to_string(cells[i].size),
+                   cell_text(cells[i]), cell_text(cells[i + 1]),
+                   cell_text(cells[i + 2])});
+  }
+  table.emit(std::cout, csv_path);
+}
+
+}  // namespace mwr::bench

@@ -1,0 +1,86 @@
+// Microbenchmarks (google-benchmark): per-cycle kernel cost of each MWU
+// realization and of the slate-projection machinery, across option-set
+// sizes.  These quantify the constant factors behind Table I's asymptotic
+// columns on this hardware.
+#include <benchmark/benchmark.h>
+
+#include "core/mwu.hpp"
+#include "core/slate_projection.hpp"
+#include "datasets/distributions.hpp"
+
+namespace {
+
+using namespace mwr;
+
+void run_cycles(core::MwuKind kind, benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto options = datasets::make_random(k, 42);
+  const core::BernoulliOracle oracle(options);
+  core::MwuConfig config;
+  config.num_options = k;
+  config.max_population = 1u << 24;  // keep Distributed constructible
+  config.pop_scale = 2.0;
+  config.pop_exponent = 1.0;  // linear population for the microbench
+  const auto strategy = core::make_mwu(kind, config);
+  util::RngStream rng(7);
+  std::vector<double> rewards;
+  for (auto _ : state) {
+    const auto probes = strategy->sample(rng);
+    rewards.resize(probes.size());
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      rewards[j] = oracle.sample(probes[j], rng);
+    }
+    strategy->update(probes, rewards, rng);
+    benchmark::DoNotOptimize(strategy->converged());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(strategy->cpus_per_cycle()));
+}
+
+void BM_StandardCycle(benchmark::State& state) {
+  run_cycles(core::MwuKind::kStandard, state);
+}
+void BM_SlateCycle(benchmark::State& state) {
+  run_cycles(core::MwuKind::kSlate, state);
+}
+void BM_DistributedCycle(benchmark::State& state) {
+  run_cycles(core::MwuKind::kDistributed, state);
+}
+
+void BM_SlateCapAndSample(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t slate = std::max<std::size_t>(1, k / 20);
+  util::RngStream rng(3);
+  std::vector<double> p(k);
+  double total = 0.0;
+  for (auto& v : p) total += (v = rng.uniform());
+  for (auto& v : p) v /= total;
+  for (auto _ : state) {
+    const auto q = core::cap_to_slate_marginals(p, slate);
+    benchmark::DoNotOptimize(core::systematic_sample(q, slate, rng));
+  }
+}
+
+void BM_SlateDecomposition(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t slate = std::max<std::size_t>(1, k / 20);
+  util::RngStream rng(3);
+  std::vector<double> p(k);
+  double total = 0.0;
+  for (auto& v : p) total += (v = rng.uniform());
+  for (auto& v : p) v /= total;
+  const auto q = core::cap_to_slate_marginals(p, slate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decompose_into_slates(q, slate));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StandardCycle)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_SlateCycle)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DistributedCycle)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SlateCapAndSample)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_SlateDecomposition)->Arg(64)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#include "apr/campaign.hpp"
+
+#include <algorithm>
+
+namespace mwr::apr {
+
+std::size_t CampaignOutcome::repaired() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(bugs.begin(), bugs.end(),
+                    [](const BugOutcome& b) { return b.repaired; }));
+}
+
+double CampaignOutcome::mean_bug_cost() const noexcept {
+  if (bugs.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& bug : bugs) total += bug.suite_runs();
+  return static_cast<double>(total) / static_cast<double>(bugs.size());
+}
+
+double CampaignOutcome::amortized_bug_cost() const noexcept {
+  if (bugs.empty()) return 0.0;
+  return mean_bug_cost() + static_cast<double>(precompute_runs) /
+                               static_cast<double>(bugs.size());
+}
+
+CampaignOutcome run_campaign(const datasets::ScenarioSpec& base,
+                             const CampaignConfig& config) {
+  CampaignOutcome outcome;
+
+  // Phase 1, once: the pool is a property of the program + current suite.
+  datasets::ScenarioSpec current = base;
+  {
+    const ProgramModel program(current);
+    const TestOracle oracle(program);
+    auto pool = MutationPool::precompute(oracle, config.pool);
+    outcome.precompute_runs = oracle.suite_runs();
+    outcome.initial_pool_size = pool.size();
+
+    std::size_t repaired_so_far = 0;
+    MutationPool working_pool = std::move(pool);
+    for (std::size_t bug = 0; bug < config.bugs; ++bug) {
+      BugOutcome record;
+      record.bug_id = bug;
+
+      // The suite has grown by one trigger test per repaired bug.
+      datasets::ScenarioSpec bug_spec = base;
+      bug_spec.bug_id = bug;
+      if (config.grow_suite) {
+        bug_spec.tests = std::min<std::size_t>(64, base.tests + repaired_so_far);
+      }
+      const ProgramModel bug_program(bug_spec);
+      const TestOracle bug_oracle(bug_program);
+
+      // Incremental maintenance: revalidate the pool against the grown
+      // suite (a no-op when nothing changed, a partial re-run otherwise).
+      const std::uint64_t runs_before = bug_oracle.suite_runs();
+      if (config.grow_suite && bug_spec.tests != current.tests) {
+        record.pool_dropped = working_pool.revalidate(bug_oracle);
+        current.tests = bug_spec.tests;
+      }
+      record.maintenance_runs = bug_oracle.suite_runs() - runs_before;
+      record.pool_size = working_pool.size();
+
+      if (!working_pool.empty()) {
+        MwRepairConfig repair_config = config.repair;
+        repair_config.max_count =
+            std::min(repair_config.max_count, working_pool.size());
+        repair_config.seed = config.repair.seed ^ (bug * 0x9e3779b9ULL);
+        const MwRepair repair(repair_config);
+        const auto result = repair.run(bug_oracle, working_pool);
+        record.repaired = result.repaired;
+        record.patch_edits = result.patch.size();
+        record.online_probes = result.probes;
+        record.online_cycles = result.iterations;
+        if (result.repaired) ++repaired_so_far;
+      }
+      outcome.bugs.push_back(record);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace mwr::apr

@@ -1,0 +1,95 @@
+#include "apr/fault_localization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mwr::apr {
+
+namespace {
+// Domain separators.
+constexpr std::uint64_t kFailCoverageDomain = 0xFA11;
+constexpr std::uint64_t kPassCoverageDomain = 0x9A55;
+
+// Probability a given passing test executes a given covered statement.
+constexpr double kPassingExecutionRate = 0.6;
+}  // namespace
+
+bool failing_test_covers(const datasets::ScenarioSpec& spec,
+                         std::uint32_t statement) {
+  return hash_to_unit(stable_hash(spec.seed, kFailCoverageDomain,
+                                  statement)) < kFailingRegionFraction;
+}
+
+CoverageSpectrum::CoverageSpectrum(const ProgramModel& program)
+    : program_(&program) {
+  for (const auto s : program.covered_statements()) {
+    if (failing_covers(s)) failing_region_.push_back(s);
+  }
+  if (failing_region_.empty())
+    throw std::invalid_argument(
+        "CoverageSpectrum: the failing test covers no statements");
+}
+
+bool CoverageSpectrum::failing_covers(std::uint32_t statement) const {
+  return failing_test_covers(program_->spec(), statement);
+}
+
+std::uint32_t CoverageSpectrum::passing_count(std::uint32_t statement) const {
+  const auto& spec = program_->spec();
+  std::uint32_t count = 0;
+  for (std::size_t t = 0; t < spec.tests; ++t) {
+    if (hash_to_unit(stable_hash(spec.seed, kPassCoverageDomain, statement,
+                                 t)) < kPassingExecutionRate) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double CoverageSpectrum::suspiciousness(std::uint32_t statement) const {
+  // Ochiai with one failing test: failed(s) in {0, 1}.
+  if (!failing_covers(statement)) return 0.0;
+  const double passed = passing_count(statement);
+  return 1.0 / std::sqrt(1.0 * (1.0 + passed));
+}
+
+MutationTargeter::MutationTargeter(const CoverageSpectrum& spectrum,
+                                   double epsilon)
+    : spectrum_(&spectrum) {
+  if (epsilon <= 0.0)
+    throw std::invalid_argument(
+        "MutationTargeter: epsilon must be positive (every covered "
+        "statement must stay reachable)");
+  const auto& covered = spectrum.program().covered_statements();
+  weights_.reserve(covered.size());
+  for (const auto s : covered) {
+    const double w = epsilon + spectrum.suspiciousness(s);
+    weights_.push_back(w);
+    total_weight_ += w;
+  }
+}
+
+Mutation MutationTargeter::sample(util::RngStream& rng) const {
+  const auto& program = spectrum_->program();
+  const auto& covered = program.covered_statements();
+  Mutation m;
+  m.kind = static_cast<MutationKind>(rng.uniform_index(3));
+  m.target = covered[rng.weighted_choice(weights_, total_weight_)];
+  if (m.kind != MutationKind::kDelete) {
+    m.donor =
+        static_cast<std::uint32_t>(rng.uniform_index(program.num_statements()));
+  }
+  return m;
+}
+
+double MutationTargeter::mass_on_failing_region() const {
+  const auto& covered = spectrum_->program().covered_statements();
+  double mass = 0.0;
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    if (spectrum_->failing_covers(covered[i])) mass += weights_[i];
+  }
+  return mass / total_weight_;
+}
+
+}  // namespace mwr::apr

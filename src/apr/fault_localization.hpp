@@ -1,0 +1,89 @@
+// Spectrum-based fault localization: the standard APR front-end that
+// GenProg-family tools (including the paper's) use to focus mutations on
+// suspicious code.
+//
+// The model: the bug-inducing test executes a localized region of the
+// program (a deterministic fraction of the covered statements); each
+// passing test executes its own subset.  Suspiciousness follows the
+// Ochiai formula over that spectrum:
+//
+//   ochiai(s) = failed(s) / sqrt(total_failed * (failed(s) + passed(s)))
+//
+// so statements executed by the failing test and few passing tests score
+// highest.  MutationTargeter turns the scores into a sampling distribution
+// for mutation targets, generalizing the paper's uniform-over-covered
+// convention (uniform = FL disabled).
+//
+// When a scenario sets `relevance_localized`, repair-relevant mutations
+// exist only inside the failing test's region — the realistic coupling
+// that makes FL pay off; the ablation bench measures exactly that payoff.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apr/mutation.hpp"
+#include "apr/program.hpp"
+
+namespace mwr::apr {
+
+/// Fraction of covered statements the bug-inducing test executes.
+inline constexpr double kFailingRegionFraction = 0.12;
+
+/// Whether the scenario's failing test executes `statement` — shared by
+/// CoverageSpectrum and by TestOracle's localized-relevance semantics.
+[[nodiscard]] bool failing_test_covers(const datasets::ScenarioSpec& spec,
+                                       std::uint32_t statement);
+
+/// The executed-statement spectrum of a scenario's test suite.
+class CoverageSpectrum {
+ public:
+  /// Derives the spectrum deterministically from the scenario seed.
+  explicit CoverageSpectrum(const ProgramModel& program);
+
+  /// Whether the bug-inducing (failing) test executes this statement.
+  [[nodiscard]] bool failing_covers(std::uint32_t statement) const;
+
+  /// How many of the passing (required) tests execute this statement.
+  [[nodiscard]] std::uint32_t passing_count(std::uint32_t statement) const;
+
+  /// Ochiai suspiciousness in [0, 1].
+  [[nodiscard]] double suspiciousness(std::uint32_t statement) const;
+
+  /// Statements the failing test covers, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& failing_region()
+      const noexcept {
+    return failing_region_;
+  }
+
+  [[nodiscard]] const ProgramModel& program() const noexcept {
+    return *program_;
+  }
+
+ private:
+  const ProgramModel* program_;
+  std::vector<std::uint32_t> failing_region_;
+};
+
+/// Samples mutation targets proportionally to (epsilon + suspiciousness),
+/// restricted to covered statements.  epsilon > 0 keeps every covered
+/// statement reachable (pure FL would never repair a mislocalized bug).
+class MutationTargeter {
+ public:
+  MutationTargeter(const CoverageSpectrum& spectrum, double epsilon = 0.05);
+
+  /// One random mutation with an FL-weighted target.
+  [[nodiscard]] Mutation sample(util::RngStream& rng) const;
+
+  /// The probability mass currently on the failing test's region —
+  /// how concentrated the targeting is (uniform targeting puts
+  /// |region| / |covered| there).
+  [[nodiscard]] double mass_on_failing_region() const;
+
+ private:
+  const CoverageSpectrum* spectrum_;
+  std::vector<double> weights_;   // aligned with program().covered_statements()
+  double total_weight_ = 0.0;
+};
+
+}  // namespace mwr::apr

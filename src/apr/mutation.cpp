@@ -1,0 +1,82 @@
+#include "apr/mutation.hpp"
+
+#include <algorithm>
+
+namespace mwr::apr {
+
+std::string to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kDelete:
+      return "delete";
+    case MutationKind::kInsert:
+      return "insert";
+    case MutationKind::kSwap:
+      return "swap";
+  }
+  return "?";
+}
+
+std::uint64_t Mutation::key() const noexcept {
+  std::uint32_t a = target;
+  std::uint32_t b = (kind == MutationKind::kDelete) ? 0u : donor;
+  if (kind == MutationKind::kSwap && b < a) std::swap(a, b);
+  return (static_cast<std::uint64_t>(kind) << 62) |
+         (static_cast<std::uint64_t>(a) << 31) | static_cast<std::uint64_t>(b);
+}
+
+void canonicalize(Patch& patch) {
+  std::sort(patch.begin(), patch.end(),
+            [](const Mutation& x, const Mutation& y) { return x.key() < y.key(); });
+  patch.erase(std::unique(patch.begin(), patch.end(),
+                          [](const Mutation& x, const Mutation& y) {
+                            return x.key() == y.key();
+                          }),
+              patch.end());
+}
+
+Mutation random_mutation(const ProgramModel& program, util::RngStream& rng) {
+  const auto& covered = program.covered_statements();
+  Mutation m;
+  m.kind = static_cast<MutationKind>(rng.uniform_index(3));
+  m.target = covered[rng.uniform_index(covered.size())];
+  if (m.kind != MutationKind::kDelete) {
+    // Donor statements may come from anywhere in the program (GenProg's
+    // "plastic surgery" assumption: fix material exists elsewhere in the
+    // same program).
+    m.donor = static_cast<std::uint32_t>(
+        rng.uniform_index(program.num_statements()));
+  }
+  return m;
+}
+
+Patch random_patch(const ProgramModel& program, std::size_t size,
+                   util::RngStream& rng) {
+  Patch patch;
+  patch.reserve(size);
+  // Rejection on duplicates: the edit universe is vastly larger than any
+  // patch, so collisions are rare and the loop terminates quickly.
+  while (patch.size() < size) {
+    const Mutation m = random_mutation(program, rng);
+    const bool duplicate =
+        std::any_of(patch.begin(), patch.end(), [&](const Mutation& other) {
+          return other.key() == m.key();
+        });
+    if (!duplicate) patch.push_back(m);
+  }
+  canonicalize(patch);
+  return patch;
+}
+
+Patch sample_from_pool(std::span<const Mutation> pool, std::size_t size,
+                       util::RngStream& rng) {
+  const std::size_t take = std::min(size, pool.size());
+  Patch patch;
+  patch.reserve(take);
+  for (std::size_t index : rng.sample_without_replacement(pool.size(), take)) {
+    patch.push_back(pool[index]);
+  }
+  canonicalize(patch);
+  return patch;
+}
+
+}  // namespace mwr::apr

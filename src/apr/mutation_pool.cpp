@@ -1,0 +1,84 @@
+#include "apr/mutation_pool.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mwr::apr {
+
+MutationPool MutationPool::precompute(const TestOracle& oracle,
+                                      const PoolConfig& config) {
+  MutationPool pool;
+  std::unordered_set<std::uint64_t> seen;
+  util::RngStream master(config.seed);
+  parallel::ThreadPool workers(config.threads);
+
+  // Validate candidates in parallel rounds sized to overshoot the expected
+  // yield slightly, then merge; duplicates are skipped *before* validation
+  // so a repeated candidate never costs a second suite run.
+  const double expected_yield =
+      std::max(0.05, oracle.program().spec().safe_rate);
+  while (pool.pool_.size() < config.target_size &&
+         pool.attempts_ < config.max_attempts) {
+    const std::size_t missing = config.target_size - pool.pool_.size();
+    std::size_t round = static_cast<std::size_t>(
+                            static_cast<double>(missing) / expected_yield) +
+                        config.threads;
+    round = std::min(round, config.max_attempts -
+                                static_cast<std::size_t>(pool.attempts_));
+
+    // Candidate generation is sequential (cheap, keeps determinism simple);
+    // validation — the expensive suite runs — fans out over the pool.
+    std::vector<Mutation> candidates;
+    candidates.reserve(round);
+    while (candidates.size() < round) {
+      const Mutation m = random_mutation(oracle.program(), master);
+      if (seen.insert(m.key()).second) candidates.push_back(m);
+    }
+    std::vector<char> safe(candidates.size(), 0);
+    workers.parallel_for_index(candidates.size(), [&](std::size_t i) {
+      const Mutation& m = candidates[i];
+      const Evaluation e = oracle.evaluate({&m, 1});
+      safe[i] = (e.required_passed == e.required_total) ? 1 : 0;
+    });
+    pool.attempts_ += candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (safe[i] && pool.pool_.size() < config.target_size) {
+        pool.pool_.push_back(candidates[i]);
+      }
+    }
+  }
+  std::sort(pool.pool_.begin(), pool.pool_.end(),
+            [](const Mutation& a, const Mutation& b) {
+              return a.key() < b.key();
+            });
+  return pool;
+}
+
+MutationPool MutationPool::from_mutations(std::vector<Mutation> mutations) {
+  MutationPool pool;
+  pool.pool_ = std::move(mutations);
+  std::sort(pool.pool_.begin(), pool.pool_.end(),
+            [](const Mutation& a, const Mutation& b) {
+              return a.key() < b.key();
+            });
+  pool.pool_.erase(std::unique(pool.pool_.begin(), pool.pool_.end(),
+                               [](const Mutation& a, const Mutation& b) {
+                                 return a.key() == b.key();
+                               }),
+                   pool.pool_.end());
+  pool.attempts_ = pool.pool_.size();
+  return pool;
+}
+
+std::size_t MutationPool::revalidate(const TestOracle& oracle) {
+  const std::size_t before = pool_.size();
+  std::erase_if(pool_, [&](const Mutation& m) {
+    const Evaluation e = oracle.evaluate({&m, 1});
+    return e.required_passed != e.required_total;
+  });
+  return before - pool_.size();
+}
+
+}  // namespace mwr::apr

@@ -1,0 +1,136 @@
+#include "apr/mwrepair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mwr::apr {
+
+MwRepair::MwRepair(MwRepairConfig config) : config_(config) {
+  if (config_.arms == 0) throw std::invalid_argument("MwRepair: arms == 0");
+  if (config_.max_count == 0)
+    throw std::invalid_argument("MwRepair: max_count == 0");
+  config_.arms = std::min(config_.arms, config_.max_count);
+}
+
+std::size_t MwRepair::count_for_arm(std::size_t arm) const {
+  if (config_.arms == 1) return config_.max_count;
+  // Geometric grid over [1, max_count]: repair-density optima range over
+  // more than an order of magnitude across programs (11..271, §III-B), so
+  // log spacing gives every scenario several arms near its mode instead of
+  // wasting most of the grid far above small optima.
+  const double t =
+      static_cast<double>(arm) / static_cast<double>(config_.arms - 1);
+  const double count =
+      std::pow(static_cast<double>(config_.max_count), t);
+  return std::min(config_.max_count,
+                  static_cast<std::size_t>(std::lround(count)));
+}
+
+RepairOutcome MwRepair::run(const TestOracle& oracle,
+                            const MutationPool& pool) const {
+  if (pool.empty())
+    throw std::invalid_argument("MwRepair::run: empty mutation pool");
+
+  core::MwuConfig mwu_config;
+  mwu_config.num_options = config_.arms;
+  mwu_config.num_agents = config_.agents;
+  mwu_config.max_iterations = config_.max_iterations;
+  mwu_config.learning_rate = config_.learning_rate;
+  mwu_config.exploration = config_.exploration;
+  const auto strategy = core::make_mwu(config_.mwu, mwu_config);
+
+  util::RngStream rng(config_.seed);
+  const std::uint32_t baseline = oracle.baseline_fitness();
+  const auto max_count = static_cast<double>(config_.max_count);
+
+  // The expensive suite runs fan out over the worker pool; everything
+  // stochastic (patch draws, proxy-acceptance draws) happens sequentially
+  // first, so the outcome is identical for any eval_threads value.
+  std::optional<parallel::ThreadPool> workers;
+  if (config_.eval_threads > 1) workers.emplace(config_.eval_threads);
+
+  RepairOutcome outcome;
+  std::vector<double> rewards;
+  std::vector<Patch> patches;
+  std::vector<double> acceptance;
+  std::vector<Evaluation> evaluations;
+  for (std::size_t t = 0; t < config_.max_iterations; ++t) {
+    const auto probes = strategy->sample(rng);           // MWU_Sample
+    patches.clear();
+    acceptance.clear();
+    for (const std::size_t arm : probes) {
+      const std::size_t count = std::min(count_for_arm(arm), pool.size());
+      patches.push_back(sample_from_pool(pool.mutations(), count, rng));
+      acceptance.push_back(rng.uniform());
+    }
+
+    evaluations.assign(patches.size(), Evaluation{});    // parallel evaluation
+    if (workers) {
+      workers->parallel_for_index(patches.size(), [&](std::size_t j) {
+        evaluations[j] = oracle.evaluate(patches[j]);
+      });
+    } else {
+      for (std::size_t j = 0; j < patches.size(); ++j) {
+        evaluations[j] = oracle.evaluate(patches[j]);
+      }
+    }
+    outcome.probes += patches.size();
+
+    rewards.assign(probes.size(), 0.0);
+    for (std::size_t j = 0; j < patches.size(); ++j) {
+      const Evaluation& e = evaluations[j];
+      if (e.is_repair()) {                               // terminate early
+        outcome.repaired = true;
+        outcome.patch = patches[j];
+        outcome.iterations = t + 1;
+        outcome.preferred_count = patches[j].size();
+        outcome.arm_probabilities = strategy->probabilities();
+        return outcome;
+      }
+      const bool fitness_kept = e.fitness() >= baseline;
+      switch (config_.reward) {
+        case RewardMode::kFitnessNonDecrease:
+          rewards[j] = fitness_kept ? 1.0 : 0.0;
+          break;
+        case RewardMode::kSafeDensityProxy:
+          // Accept in proportion to the validated combination size, making
+          // E[reward | x] proportional to x * P(pass | x).
+          rewards[j] = (fitness_kept &&
+                        acceptance[j] < static_cast<double>(patches[j].size()) /
+                                            max_count)
+                           ? 1.0
+                           : 0.0;
+          break;
+      }
+    }
+    strategy->update(probes, rewards, rng);              // MWU_Update
+    ++outcome.iterations;
+  }
+  outcome.preferred_count = count_for_arm(strategy->best_option());
+  outcome.arm_probabilities = strategy->probabilities();
+  return outcome;  // no repair within budget (Fig 6: return null)
+}
+
+EndToEndOutcome repair_scenario(const datasets::ScenarioSpec& spec,
+                                const MwRepairConfig& repair_config,
+                                const PoolConfig& pool_config) {
+  const ProgramModel program(spec);
+  const TestOracle oracle(program);
+  const MutationPool pool = MutationPool::precompute(oracle, pool_config);
+
+  EndToEndOutcome outcome;
+  outcome.precompute_attempts = pool.attempts();
+  outcome.pool_size = pool.size();
+  if (!pool.empty()) {
+    const MwRepair repair(repair_config);
+    outcome.repair = repair.run(oracle, pool);
+  }
+  outcome.total_suite_runs = oracle.suite_runs();
+  return outcome;
+}
+
+}  // namespace mwr::apr

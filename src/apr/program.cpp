@@ -1,0 +1,41 @@
+#include "apr/program.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mwr::apr {
+
+std::uint64_t stable_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) noexcept {
+  util::SplitMix64 sm(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                      (b * 0xc2b2ae3d27d4eb4fULL) ^ (c * 0x165667b19e3779f9ULL));
+  sm.next();
+  return sm.next();
+}
+
+double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+ProgramModel::ProgramModel(datasets::ScenarioSpec spec)
+    : spec_(std::move(spec)) {
+  if (spec_.statements == 0)
+    throw std::invalid_argument("ProgramModel: scenario has no statements");
+  if (spec_.coverage <= 0.0 || spec_.coverage > 1.0)
+    throw std::invalid_argument("ProgramModel: coverage outside (0, 1]");
+  covered_.reserve(
+      static_cast<std::size_t>(spec_.coverage * static_cast<double>(spec_.statements)) + 1);
+  for (std::size_t s = 0; s < spec_.statements; ++s) {
+    if (is_covered(s)) covered_.push_back(static_cast<std::uint32_t>(s));
+  }
+  if (covered_.empty())
+    throw std::invalid_argument("ProgramModel: no covered statements");
+}
+
+bool ProgramModel::is_covered(std::size_t statement) const {
+  return hash_to_unit(stable_hash(spec_.seed, 0xC0FFEE, statement)) <
+         spec_.coverage;
+}
+
+}  // namespace mwr::apr

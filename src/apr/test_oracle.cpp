@@ -1,0 +1,109 @@
+#include "apr/test_oracle.hpp"
+
+#include "apr/fault_localization.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mwr::apr {
+
+namespace {
+// Domain separators for the scenario's deterministic semantics.
+constexpr std::uint64_t kBreakDomain = 0xB4EA;
+constexpr std::uint64_t kPairDomain = 0x9A12;
+constexpr std::uint64_t kRepairDomain = 0x4E9A;
+}  // namespace
+
+TestOracle::TestOracle(const ProgramModel& program)
+    : program_(&program),
+      required_tests_(static_cast<std::uint32_t>(program.spec().tests)),
+      interference_(program.spec().interference()) {
+  if (required_tests_ == 0 || required_tests_ > 64)
+    throw std::invalid_argument(
+        "TestOracle: required tests must be in [1, 64] (bitmask model)");
+  // Safety is test-granular: a mutation breaks each test independently with
+  // rate b, calibrated so a single mutation passes the whole suite with
+  // probability safe_rate: (1-b)^T = safe_rate.  Because b shrinks as the
+  // suite grows, a mutation that passed every old test keeps passing them
+  // under a grown suite — only the *new* tests can expose it, which is
+  // exactly the incremental pool-maintenance story of §III-C.
+  per_test_break_rate_ =
+      1.0 - std::pow(program.spec().safe_rate,
+                     1.0 / static_cast<double>(required_tests_));
+}
+
+bool TestOracle::is_safe(const Mutation& m) const {
+  return broken_mask_single(m) == 0;
+}
+
+bool TestOracle::is_repair_relevant(const Mutation& m) const {
+  const auto& spec = program_->spec();
+  double rate = spec.repair_rate;
+  if (spec.relevance_localized) {
+    // Relevance lives only inside the failing test's region, with the rate
+    // scaled so the overall relevance over all covered statements is
+    // unchanged.
+    if (!failing_test_covers(spec, m.target)) return false;
+    rate = std::min(1.0, spec.repair_rate / kFailingRegionFraction);
+  }
+  return is_safe(m) &&
+         hash_to_unit(stable_hash(spec.seed, kRepairDomain ^ (spec.bug_id << 8),
+                                  m.key())) < rate;
+}
+
+std::uint64_t TestOracle::broken_mask_single(const Mutation& m) const {
+  const auto& spec = program_->spec();
+  std::uint64_t mask = 0;
+  for (std::uint32_t t = 0; t < required_tests_; ++t) {
+    if (hash_to_unit(stable_hash(spec.seed, kBreakDomain, m.key(), t)) <
+        per_test_break_rate_) {
+      mask |= (std::uint64_t{1} << t);
+    }
+  }
+  return mask;
+}
+
+Evaluation TestOracle::evaluate(std::span<const Mutation> patch) const {
+  suite_runs_.fetch_add(1, std::memory_order_relaxed);
+  const auto& spec = program_->spec();
+
+  // Per-mutation breakage first (O(x * T)), so the pair loop below can test
+  // safety as a flag lookup instead of re-hashing the suite.
+  std::uint64_t broken = 0;
+  std::vector<bool> safe(patch.size());
+  for (std::size_t i = 0; i < patch.size(); ++i) {
+    const std::uint64_t mask = broken_mask_single(patch[i]);
+    broken |= mask;
+    safe[i] = (mask == 0);
+  }
+
+  std::size_t relevant = 0;
+  for (std::size_t i = 0; i < patch.size(); ++i) {
+    if (!safe[i]) continue;
+    const Mutation& m = patch[i];
+    if (is_repair_relevant(m)) ++relevant;
+    // Pairwise interference among safe mutations (Fig 4a's mechanism).
+    for (std::size_t j = i + 1; j < patch.size(); ++j) {
+      if (!safe[j]) continue;
+      std::uint64_t lo = m.key();
+      std::uint64_t hi = patch[j].key();
+      if (hi < lo) std::swap(lo, hi);
+      const std::uint64_t h = stable_hash(spec.seed, kPairDomain, lo, hi);
+      if (hash_to_unit(h) < interference_) {
+        broken |= (std::uint64_t{1} << (h % required_tests_));
+      }
+    }
+  }
+
+  Evaluation result;
+  result.required_total = required_tests_;
+  result.required_passed =
+      required_tests_ - static_cast<std::uint32_t>(std::popcount(broken));
+  result.bug_test_passed =
+      relevant >= spec.min_repair_edits && spec.min_repair_edits > 0;
+  return result;
+}
+
+}  // namespace mwr::apr

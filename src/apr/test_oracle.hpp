@@ -1,0 +1,98 @@
+// Simulated test-suite execution: the deterministic semantics of a bug
+// scenario.
+//
+// The model (calibrated to the paper's published regularities, §III-B):
+//
+//   safety        — a mutation breaks each required test independently with
+//                   a per-test rate b calibrated so that a single mutation
+//                   passes the whole suite with probability safe_rate
+//                   ((1-b)^T = safe_rate; ~55% for whole-statement edits on
+//                   the C scenarios — the cross-benchmark figure the paper
+//                   cites is ~30%, rising for coarse statement edits).
+//                   "Safe" means it breaks none of the current tests.
+//                   Breakage is a deterministic function of the mutation
+//                   key, the test index, and the scenario seed, so the same
+//                   edit always behaves identically — and a grown suite can
+//                   expose a previously-safe mutation only through its new
+//                   tests, which drives incremental pool maintenance.
+//   interference  — every unordered pair of safe mutations interferes with
+//                   probability q = spec.interference(), breaking one
+//                   hash-chosen test.  This reproduces Fig 4a's decay:
+//                   P(pass | x safe mutations) = (1-q)^(x choose 2).
+//   repair        — a safe mutation is repair-relevant with probability
+//                   repair_rate; the bug-inducing test passes iff the patch
+//                   contains at least min_repair_edits relevant mutations.
+//                   A *repair* passes the bug test AND the required suite.
+//
+// Every evaluate() call counts one test-suite run — the unit in which the
+// paper measures APR cost (§IV-G) — via a relaxed atomic, so concurrent
+// probes from the thread pool can share one oracle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "apr/mutation.hpp"
+#include "apr/program.hpp"
+
+namespace mwr::apr {
+
+/// Outcome of running the suite on a patched program.
+struct Evaluation {
+  std::uint32_t required_passed = 0;
+  std::uint32_t required_total = 0;
+  bool bug_test_passed = false;
+
+  /// GenProg-style fitness: passing required tests weighted 1, the
+  /// bug-inducing test weighted like a required test.
+  [[nodiscard]] std::uint32_t fitness() const noexcept {
+    return required_passed + (bug_test_passed ? 1u : 0u);
+  }
+  /// A repair passes everything.
+  [[nodiscard]] bool is_repair() const noexcept {
+    return bug_test_passed && required_passed == required_total;
+  }
+};
+
+class TestOracle {
+ public:
+  explicit TestOracle(const ProgramModel& program);
+
+  /// Runs the (simulated) suite on original-program-plus-patch.
+  [[nodiscard]] Evaluation evaluate(std::span<const Mutation> patch) const;
+
+  /// Fitness of the unpatched program: passes all required tests, fails the
+  /// bug-inducing test.
+  [[nodiscard]] std::uint32_t baseline_fitness() const noexcept {
+    return required_tests_;
+  }
+
+  [[nodiscard]] std::uint32_t required_tests() const noexcept {
+    return required_tests_;
+  }
+
+  /// Model introspection (deterministic; does not count as a suite run).
+  [[nodiscard]] bool is_safe(const Mutation& m) const;
+  [[nodiscard]] bool is_repair_relevant(const Mutation& m) const;
+
+  /// Total suite runs so far (the cost currency of §IV-G).
+  [[nodiscard]] std::uint64_t suite_runs() const noexcept {
+    return suite_runs_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ProgramModel& program() const noexcept {
+    return *program_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t broken_mask_single(const Mutation& m) const;
+
+  const ProgramModel* program_;
+  std::uint32_t required_tests_;
+  double interference_;
+  double per_test_break_rate_ = 0.0;
+  mutable std::atomic<std::uint64_t> suite_runs_{0};
+};
+
+}  // namespace mwr::apr

@@ -1,0 +1,69 @@
+#include "baselines/ae.hpp"
+
+#include <unordered_set>
+
+namespace mwr::baselines {
+
+AeOutcome run_ae(const apr::TestOracle& oracle, const AeConfig& config) {
+  const apr::ProgramModel& program = oracle.program();
+  const std::uint64_t runs_at_start = oracle.suite_runs();
+  AeOutcome outcome;
+  std::unordered_set<std::uint64_t> tested_classes;
+
+  const auto semantic_class = [&](const apr::Mutation& m) -> std::uint64_t {
+    // Donors collapse into a bounded number of semantic classes; the class
+    // of an edit is (kind, target, donor-class).
+    const std::uint64_t donor_class =
+        (m.kind == apr::MutationKind::kDelete)
+            ? 0
+            : apr::stable_hash(program.spec().seed, 0xAE, m.donor) %
+                  config.semantic_classes;
+    return (static_cast<std::uint64_t>(m.kind) << 56) ^
+           (static_cast<std::uint64_t>(m.target) << 24) ^ donor_class;
+  };
+
+  const auto budget_left = [&] {
+    return oracle.suite_runs() - runs_at_start < config.max_suite_runs;
+  };
+
+  // Deterministic sweep: delete first (cheapest class), then insert/swap
+  // with a deterministic donor stride so classes are visited evenly.
+  for (const std::uint32_t target : program.covered_statements()) {
+    for (const auto kind : {apr::MutationKind::kDelete,
+                            apr::MutationKind::kInsert,
+                            apr::MutationKind::kSwap}) {
+      const std::size_t donor_steps =
+          (kind == apr::MutationKind::kDelete) ? 1 : config.semantic_classes;
+      for (std::size_t step = 0; step < donor_steps; ++step) {
+        if (!budget_left()) goto done;
+        apr::Mutation m;
+        m.kind = kind;
+        m.target = target;
+        if (kind != apr::MutationKind::kDelete) {
+          m.donor = static_cast<std::uint32_t>(
+              apr::stable_hash(program.spec().seed, 0xD0408, target, step) %
+              program.num_statements());
+        }
+        ++outcome.enumerated;
+        if (!tested_classes.insert(semantic_class(m)).second) {
+          ++outcome.pruned;
+          continue;
+        }
+        const apr::Patch trial{m};
+        const apr::Evaluation e = oracle.evaluate(trial);
+        if (e.is_repair()) {
+          outcome.repaired = true;
+          outcome.patch = trial;
+          goto done;
+        }
+      }
+    }
+  }
+
+done:
+  outcome.suite_runs = oracle.suite_runs() - runs_at_start;
+  outcome.latency_units = static_cast<double>(outcome.suite_runs);  // serial
+  return outcome;
+}
+
+}  // namespace mwr::baselines

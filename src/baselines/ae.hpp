@@ -1,0 +1,38 @@
+// AE (Adaptive Equivalence) — the deterministic single-edit baseline of
+// §IV-G.
+//
+// Weimer et al.'s AE replaces stochastic search with a systematic
+// enumeration of single-edit patches, pruned by semantic-equivalence
+// checks so no two equivalent edits are ever both tested.  Our surrogate
+// enumerates the covered-statement edit universe in a deterministic order
+// and prunes by an equivalence-class key: delete(s) is one class per
+// statement; insert/swap collapse donors with identical modeled semantics
+// (donor statements hash into a bounded number of semantic classes,
+// reflecting how often real statements are duplicates — the source of AE's
+// savings).  AE is single-edit by construction, so multi-edit defects are
+// out of its reach no matter the budget.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/genprog.hpp"
+
+namespace mwr::baselines {
+
+struct AeConfig {
+  std::uint64_t max_suite_runs = 10000;
+  /// Modeled number of distinct semantic classes donor statements fall
+  /// into; smaller = more aggressive equivalence pruning.
+  std::size_t semantic_classes = 64;
+  std::uint64_t seed = 17;
+};
+
+struct AeOutcome : SearchOutcome {
+  std::uint64_t enumerated = 0;  ///< candidate edits considered.
+  std::uint64_t pruned = 0;      ///< skipped as equivalent to a tested edit.
+};
+
+[[nodiscard]] AeOutcome run_ae(const apr::TestOracle& oracle,
+                               const AeConfig& config);
+
+}  // namespace mwr::baselines

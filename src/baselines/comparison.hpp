@@ -1,0 +1,70 @@
+// The §IV-G comparison harness: every repair tool, same scenarios, same
+// mutation space, same simulated test oracle.
+//
+// Cost accounting follows the paper's conventions:
+//   - fitness evaluations = suite runs consumed by the *online* search
+//     (MWRepair's precompute is a one-time, per-program cost "amortized
+//     over the cost of repairing multiple bugs", §III-C, and is reported
+//     separately);
+//   - latency = suite runs divided by the tool's parallel evaluation
+//     width: the serial baselines evaluate one candidate at a time, while
+//     MWRepair evaluates one probe per agent per cycle and precomputes the
+//     pool embarrassingly parallel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apr/mwrepair.hpp"
+#include "baselines/ae.hpp"
+#include "baselines/genprog.hpp"
+#include "baselines/island_ga.hpp"
+#include "baselines/rsrepair.hpp"
+
+namespace mwr::baselines {
+
+struct ComparisonConfig {
+  std::uint64_t budget = 10000;       ///< per-tool online suite-run budget.
+  std::size_t mwrepair_agents = 64;   ///< MWRepair's parallel width.
+  /// Precomputed safe mutations per program.  Deliberately large: the pool
+  /// is a one-time cost amortized over every bug repaired in the program
+  /// (§III-C), and sparse-repair scenarios need it to contain the rare
+  /// repair-relevant edits at all.
+  std::size_t pool_target = 12000;
+  std::uint64_t seed = 20210525;
+};
+
+struct ToolResult {
+  std::string tool;
+  bool repaired = false;
+  std::uint64_t suite_runs = 0;   ///< online fitness evaluations.
+  double latency_units = 0.0;     ///< modeled parallel wall-clock.
+  std::size_t patch_edits = 0;    ///< size of the repairing patch (0 if none).
+};
+
+struct ScenarioComparison {
+  std::string scenario;
+  std::string language;
+  std::uint64_t precompute_runs = 0;  ///< MWRepair phase-1 cost (amortized).
+  /// MWRepair, GenProg (jGenProg on Java), RSRepair, AE, IslandGA — in
+  /// that order.
+  std::vector<ToolResult> tools;
+};
+
+/// Runs all four tools on one scenario.
+[[nodiscard]] ScenarioComparison compare_on_scenario(
+    const datasets::ScenarioSpec& spec, const ComparisonConfig& config);
+
+/// Aggregate across scenarios: repairs found and total cost per tool.
+struct ToolTally {
+  std::string tool;
+  std::size_t repaired = 0;
+  std::size_t attempted = 0;
+  std::uint64_t total_suite_runs = 0;
+  double total_latency = 0.0;
+};
+
+[[nodiscard]] std::vector<ToolTally> tally(
+    const std::vector<ScenarioComparison>& comparisons);
+
+}  // namespace mwr::baselines

@@ -1,0 +1,48 @@
+// GenProg-style genetic repair search — the evolutionary-computation
+// baseline of §IV-G.
+//
+// Faithful to the published search *policy* at the granularity the paper
+// compares on: a population of patch variants, fitness = tests passed
+// (bug-inducing test weighted like a required test), tournament selection,
+// one-point crossover over edit lists, and mutation operators drawn from
+// the same statement-level space as every other tool here.  New mutations
+// are generated on demand inside the search loop — GenProg has no
+// precomputed pool, which is exactly the inefficiency MWRepair's phase 1
+// removes.  jGenProg is this same policy run on the Java scenarios.
+#pragma once
+
+#include <cstdint>
+
+#include "apr/mutation.hpp"
+#include "apr/test_oracle.hpp"
+
+namespace mwr::baselines {
+
+/// Shared result shape for all baseline searches and MWRepair in the
+/// §IV-G comparison.
+struct SearchOutcome {
+  bool repaired = false;
+  apr::Patch patch;
+  std::uint64_t suite_runs = 0;   ///< fitness evaluations consumed.
+  /// Modeled wall-clock in suite-run units: evaluations divided by the
+  /// tool's parallel evaluation width (1 for the serial baselines).
+  double latency_units = 0.0;
+};
+
+struct GenProgConfig {
+  std::size_t population = 40;
+  std::size_t max_generations = 250;
+  std::uint64_t max_suite_runs = 10000;   ///< overall fitness-eval budget.
+  double crossover_rate = 0.5;
+  double mutation_rate = 0.9;   ///< chance a child gains a fresh random edit.
+  double drop_rate = 0.1;       ///< chance a child loses one existing edit.
+  std::size_t tournament = 2;
+  std::uint64_t seed = 11;
+};
+
+/// Runs the genetic search until a repair, the generation limit, or the
+/// suite-run budget.
+[[nodiscard]] SearchOutcome run_genprog(const apr::TestOracle& oracle,
+                                        const GenProgConfig& config);
+
+}  // namespace mwr::baselines

@@ -1,0 +1,169 @@
+#include "baselines/island_ga.hpp"
+
+#include <algorithm>
+
+namespace mwr::baselines {
+
+namespace {
+
+struct Variant {
+  apr::Patch patch;
+  std::uint32_t fitness = 0;
+};
+
+struct Island {
+  std::vector<apr::Mutation> universe;  // this partition's mutation targets
+  std::vector<Variant> population;
+  util::RngStream rng{0};
+};
+
+// A random mutation restricted to the island's statement partition.
+apr::Mutation partition_mutation(const apr::ProgramModel& program,
+                                 std::span<const std::uint32_t> targets,
+                                 util::RngStream& rng) {
+  apr::Mutation m;
+  m.kind = static_cast<apr::MutationKind>(rng.uniform_index(3));
+  m.target = targets[rng.uniform_index(targets.size())];
+  if (m.kind != apr::MutationKind::kDelete) {
+    m.donor =
+        static_cast<std::uint32_t>(rng.uniform_index(program.num_statements()));
+  }
+  return m;
+}
+
+}  // namespace
+
+IslandGaOutcome run_island_ga(const apr::TestOracle& oracle,
+                              const IslandGaConfig& config) {
+  const apr::ProgramModel& program = oracle.program();
+  const std::uint64_t runs_at_start = oracle.suite_runs();
+  util::RngStream master(config.seed);
+
+  // Partition the covered statements round-robin across islands — the
+  // "search space explicitly partitioned among the processors".
+  const auto& covered = program.covered_statements();
+  std::vector<std::vector<std::uint32_t>> partitions(config.islands);
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    partitions[i % config.islands].push_back(covered[i]);
+  }
+
+  IslandGaOutcome outcome;
+  const auto budget_left = [&] {
+    return oracle.suite_runs() - runs_at_start < config.max_suite_runs;
+  };
+
+  std::vector<Island> islands(config.islands);
+  for (std::size_t i = 0; i < config.islands; ++i) {
+    islands[i].rng = master.split();
+    islands[i].population.resize(config.population_per_island);
+  }
+
+  const auto evaluate = [&](Variant& v, std::size_t island) -> bool {
+    const apr::Evaluation e = oracle.evaluate(v.patch);
+    v.fitness = e.fitness();
+    if (e.is_repair()) {
+      outcome.repaired = true;
+      outcome.patch = v.patch;
+      outcome.winning_island = island;
+    }
+    return outcome.repaired;
+  };
+
+  // Seed each island with single edits from its own partition.
+  for (std::size_t i = 0; i < config.islands; ++i) {
+    if (partitions[i].empty()) continue;
+    for (auto& v : islands[i].population) {
+      v.patch = {partition_mutation(program, partitions[i], islands[i].rng)};
+      if (!budget_left() || evaluate(v, i)) goto done;
+    }
+  }
+
+  for (std::size_t gen = 0; gen < config.max_generations; ++gen) {
+    for (std::size_t i = 0; i < config.islands; ++i) {
+      if (partitions[i].empty()) continue;
+      Island& island = islands[i];
+      std::vector<Variant> next;
+      next.reserve(island.population.size());
+      while (next.size() < island.population.size()) {
+        const auto pick = [&]() -> const Variant& {
+          const Variant& a =
+              island.population[island.rng.uniform_index(
+                  island.population.size())];
+          const Variant& b =
+              island.population[island.rng.uniform_index(
+                  island.population.size())];
+          return a.fitness >= b.fitness ? a : b;
+        };
+        Variant child;
+        if (island.rng.bernoulli(config.crossover_rate)) {
+          const apr::Patch& pa = pick().patch;
+          const apr::Patch& pb = pick().patch;
+          const std::size_t cut_a =
+              pa.empty() ? 0 : island.rng.uniform_index(pa.size() + 1);
+          const std::size_t cut_b =
+              pb.empty() ? 0 : island.rng.uniform_index(pb.size() + 1);
+          child.patch.assign(pa.begin(),
+                             pa.begin() + static_cast<std::ptrdiff_t>(cut_a));
+          child.patch.insert(child.patch.end(),
+                             pb.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                             pb.end());
+          apr::canonicalize(child.patch);
+        } else {
+          child.patch = pick().patch;
+        }
+        if (island.rng.bernoulli(config.mutation_rate)) {
+          child.patch.push_back(
+              partition_mutation(program, partitions[i], island.rng));
+          apr::canonicalize(child.patch);
+        }
+        if (!child.patch.empty() && island.rng.bernoulli(config.drop_rate)) {
+          child.patch.erase(
+              child.patch.begin() +
+              static_cast<std::ptrdiff_t>(
+                  island.rng.uniform_index(child.patch.size())));
+        }
+        next.push_back(std::move(child));
+      }
+      for (auto& v : next) {
+        if (!budget_left() || evaluate(v, i)) {
+          island.population = std::move(next);
+          goto done;
+        }
+      }
+      island.population = std::move(next);
+    }
+
+    // Ring migration: each island's best variant replaces its neighbor's
+    // worst — how partitioned islands can eventually assemble multi-
+    // partition patches.
+    if ((gen + 1) % config.migration_interval == 0 && config.islands > 1) {
+      for (std::size_t i = 0; i < config.islands; ++i) {
+        Island& from = islands[i];
+        Island& to = islands[(i + 1) % config.islands];
+        if (from.population.empty() || to.population.empty()) continue;
+        const auto best = std::max_element(
+            from.population.begin(), from.population.end(),
+            [](const Variant& a, const Variant& b) {
+              return a.fitness < b.fitness;
+            });
+        const auto worst = std::min_element(
+            to.population.begin(), to.population.end(),
+            [](const Variant& a, const Variant& b) {
+              return a.fitness < b.fitness;
+            });
+        *worst = *best;
+        ++outcome.migrations;
+      }
+    }
+  }
+
+done:
+  outcome.suite_runs = oracle.suite_runs() - runs_at_start;
+  // Islands evaluate concurrently.
+  outcome.latency_units = static_cast<double>(outcome.suite_runs) /
+                          static_cast<double>(std::max<std::size_t>(
+                              1, config.islands));
+  return outcome;
+}
+
+}  // namespace mwr::baselines

@@ -1,0 +1,46 @@
+// Island-model distributed GA — the Schulte–DiLorenzo-style baseline the
+// paper's related work singles out (§V-B: "the Schulte-DiLorenzo
+// distributed algorithm, which uses a distributed genetic algorithm to
+// coordinate exploration, but the search space is explicitly partitioned
+// among the processors").
+//
+// Our surrogate keeps the two defining properties: (1) each island runs an
+// independent GenProg-style population whose *mutation targets are
+// restricted to its own partition* of the covered statements, and (2)
+// islands periodically migrate their best variant to a ring neighbor.
+// Partitioning is the contrast with MWRepair: a defect whose repair needs
+// edits from multiple partitions can only be assembled after migration,
+// and a partition that doesn't contain the repair-relevant statement can
+// never find it locally.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/genprog.hpp"
+
+namespace mwr::baselines {
+
+struct IslandGaConfig {
+  std::size_t islands = 4;
+  std::size_t population_per_island = 10;
+  std::size_t max_generations = 250;
+  std::uint64_t max_suite_runs = 10000;  ///< shared across all islands.
+  std::size_t migration_interval = 10;   ///< generations between migrations.
+  double crossover_rate = 0.5;
+  double mutation_rate = 0.9;
+  double drop_rate = 0.1;
+  std::uint64_t seed = 23;
+};
+
+struct IslandGaOutcome : SearchOutcome {
+  std::size_t migrations = 0;
+  std::size_t winning_island = 0;  ///< island that found the repair (if any).
+};
+
+/// Runs the partitioned island GA against the oracle.  Latency is modeled
+/// as suite runs divided by the island count (islands evaluate in
+/// parallel; migration is a cheap synchronization).
+[[nodiscard]] IslandGaOutcome run_island_ga(const apr::TestOracle& oracle,
+                                            const IslandGaConfig& config);
+
+}  // namespace mwr::baselines

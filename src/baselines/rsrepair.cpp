@@ -1,0 +1,26 @@
+#include "baselines/rsrepair.hpp"
+
+namespace mwr::baselines {
+
+SearchOutcome run_rsrepair(const apr::TestOracle& oracle,
+                           const RsRepairConfig& config) {
+  util::RngStream rng(config.seed);
+  const std::uint64_t runs_at_start = oracle.suite_runs();
+  SearchOutcome outcome;
+  while (oracle.suite_runs() - runs_at_start < config.max_suite_runs) {
+    const std::size_t edits = rng.bernoulli(config.two_edit_rate) ? 2 : 1;
+    const apr::Patch trial =
+        apr::random_patch(oracle.program(), edits, rng);
+    const apr::Evaluation e = oracle.evaluate(trial);
+    if (e.is_repair()) {
+      outcome.repaired = true;
+      outcome.patch = trial;
+      break;
+    }
+  }
+  outcome.suite_runs = oracle.suite_runs() - runs_at_start;
+  outcome.latency_units = static_cast<double>(outcome.suite_runs);  // serial
+  return outcome;
+}
+
+}  // namespace mwr::baselines

@@ -1,0 +1,28 @@
+// RSRepair — the random-search baseline of §IV-G.
+//
+// Qi et al.'s observation was that GenProg's genetic machinery often adds
+// little over unguided random search; RSRepair therefore samples candidate
+// patches independently (here: one or two fresh random edits per trial,
+// matching the one-to-two-edit radius the paper attributes to existing
+// tools in §III-A) and keeps no state between trials.  It parallelizes
+// trivially because no information is shared — and it fails precisely on
+// the scenarios where repairs are sparse or need more combined edits than
+// its radius reaches.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/genprog.hpp"
+
+namespace mwr::baselines {
+
+struct RsRepairConfig {
+  std::uint64_t max_suite_runs = 10000;
+  double two_edit_rate = 0.3;   ///< chance a trial uses two edits instead of one.
+  std::uint64_t seed = 13;
+};
+
+[[nodiscard]] SearchOutcome run_rsrepair(const apr::TestOracle& oracle,
+                                         const RsRepairConfig& config);
+
+}  // namespace mwr::baselines

@@ -1,0 +1,105 @@
+#include "core/exp3_mwu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mwr::core {
+
+Exp3Mwu::Exp3Mwu(const MwuConfig& config) : config_(config) {
+  if (config.num_options == 0)
+    throw std::invalid_argument("Exp3Mwu: num_options == 0");
+  if (config.num_agents == 0)
+    throw std::invalid_argument("Exp3Mwu: num_agents == 0");
+  if (config.exploration <= 0.0 || config.exploration > 1.0)
+    throw std::invalid_argument("Exp3Mwu: gamma must be in (0, 1]");
+  init();
+}
+
+void Exp3Mwu::init() {
+  weights_.assign(config_.num_options, 1.0);
+  total_weight_ = static_cast<double>(config_.num_options);
+}
+
+std::vector<double> Exp3Mwu::probabilities() const {
+  const double gamma = config_.exploration;
+  const double floor = gamma / static_cast<double>(weights_.size());
+  std::vector<double> p(weights_.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = (1.0 - gamma) * weights_[i] / total_weight_ + floor;
+  }
+  return p;
+}
+
+std::vector<std::size_t> Exp3Mwu::sample(util::RngStream& rng) {
+  const auto p = probabilities();
+  std::vector<std::size_t> probes(config_.num_agents);
+  for (auto& option : probes) {
+    option = rng.weighted_choice(p, 1.0);
+  }
+  return probes;
+}
+
+void Exp3Mwu::update(std::span<const std::size_t> options,
+                     std::span<const double> rewards,
+                     util::RngStream& /*rng*/) {
+  if (options.size() != rewards.size())
+    throw std::invalid_argument("Exp3Mwu::update: size mismatch");
+  const auto p = probabilities();
+  const double gamma = config_.exploration;
+  const auto k = static_cast<double>(weights_.size());
+
+  // Importance-weighted exponential update, aggregated per option.  The
+  // exponent gamma * (r / p_i) / k is at most 1 because p_i >= gamma / k.
+  std::vector<double> exponents(weights_.size(), 0.0);
+  for (std::size_t j = 0; j < options.size(); ++j) {
+    if (rewards[j] > 0.0) {
+      exponents[options[j]] += gamma * (rewards[j] / p[options[j]]) / k;
+    }
+  }
+  double max_weight = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (exponents[i] > 0.0) weights_[i] *= std::exp(exponents[i]);
+    max_weight = std::max(max_weight, weights_[i]);
+  }
+  total_weight_ = 0.0;
+  for (auto& w : weights_) {
+    w /= max_weight;
+    total_weight_ += w;
+  }
+}
+
+void Exp3Mwu::set_weights(std::vector<double> weights) {
+  if (weights.size() != config_.num_options)
+    throw std::invalid_argument("Exp3Mwu::set_weights: wrong width");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument("Exp3Mwu::set_weights: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("Exp3Mwu::set_weights: zero total");
+  weights_ = std::move(weights);
+  total_weight_ = total;
+}
+
+double Exp3Mwu::max_achievable_probability() const noexcept {
+  const double gamma = config_.exploration;
+  return (1.0 - gamma) + gamma / static_cast<double>(weights_.size());
+}
+
+bool Exp3Mwu::converged() const {
+  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  const double gamma = config_.exploration;
+  const double p_max = (1.0 - gamma) * max_w / total_weight_ +
+                       gamma / static_cast<double>(weights_.size());
+  return p_max >= max_achievable_probability() - config_.convergence_tol;
+}
+
+std::size_t Exp3Mwu::best_option() const {
+  return static_cast<std::size_t>(
+      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+}
+
+}  // namespace mwr::core

@@ -1,0 +1,92 @@
+#include "core/mwu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/distributed_mwu.hpp"
+#include "core/exp3_mwu.hpp"
+#include "core/slate_mwu.hpp"
+#include "core/standard_mwu.hpp"
+
+namespace mwr::core {
+
+std::string to_string(MwuKind kind) {
+  switch (kind) {
+    case MwuKind::kStandard:
+      return "Standard";
+    case MwuKind::kSlate:
+      return "Slate";
+    case MwuKind::kDistributed:
+      return "Distributed";
+    case MwuKind::kExp3:
+      return "Exp3";
+  }
+  return "?";
+}
+
+std::size_t distributed_population(const MwuConfig& config) {
+  const auto k = static_cast<double>(config.num_options);
+  const double pop =
+      std::ceil(config.pop_scale * std::pow(k, config.pop_exponent));
+  // The population can never be smaller than the option set (the implicit
+  // weight vector needs at least one holder per option at initialization).
+  return std::max(config.num_options,
+                  static_cast<std::size_t>(pop));
+}
+
+std::unique_ptr<MwuStrategy> make_mwu(MwuKind kind, const MwuConfig& config) {
+  switch (kind) {
+    case MwuKind::kStandard:
+      return std::make_unique<StandardMwu>(config);
+    case MwuKind::kSlate:
+      return std::make_unique<SlateMwu>(config);
+    case MwuKind::kDistributed:
+      return std::make_unique<DistributedMwu>(config);
+    case MwuKind::kExp3:
+      return std::make_unique<Exp3Mwu>(config);
+  }
+  throw std::invalid_argument("make_mwu: unknown kind");
+}
+
+MwuResult run_mwu(MwuStrategy& strategy, const CostOracle& oracle,
+                  const MwuConfig& config, util::RngStream rng) {
+  if (oracle.num_options() != config.num_options)
+    throw std::invalid_argument("run_mwu: oracle/config option count mismatch");
+  const CountingOracle counted(oracle);
+  MwuResult result;
+  result.cpus_per_cycle = strategy.cpus_per_cycle();
+
+  std::vector<double> rewards;
+  for (std::size_t t = 0; t < config.max_iterations; ++t) {
+    const auto probes = strategy.sample(rng);
+    rewards.resize(probes.size());
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      rewards[j] = counted.sample(probes[j], rng);
+    }
+    strategy.update(probes, rewards, rng);
+    ++result.iterations;
+    if (strategy.converged()) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.best_option = strategy.best_option();
+  result.probabilities = strategy.probabilities();
+  result.evaluations = counted.evaluations();
+  return result;
+}
+
+MwuResult run_mwu(MwuKind kind, const CostOracle& oracle,
+                  const MwuConfig& config, util::RngStream rng) {
+  if (kind == MwuKind::kDistributed &&
+      distributed_population(config) > config.max_population) {
+    MwuResult result;
+    result.intractable = true;
+    result.cpus_per_cycle = distributed_population(config);
+    return result;
+  }
+  const auto strategy = make_mwu(kind, config);
+  return run_mwu(*strategy, oracle, config, std::move(rng));
+}
+
+}  // namespace mwr::core

@@ -1,0 +1,135 @@
+// The generic MWU interface of the paper (Fig 6 consumes it as MWU_Init /
+// MWU_Sample / MWU_Update) plus the shared configuration and the run driver
+// used by the evaluation harness.
+//
+// Each update cycle has three steps:
+//   1. sample()   — the algorithm names the options its agents will probe
+//                   this cycle (one entry per agent / CPU);
+//   2. (caller)   — each probe is evaluated through a CostOracle, yielding a
+//                   binary reward;
+//   3. update()   — the algorithm folds the rewards back into its state.
+// converged() is checked after every update; Table II counts the number of
+// completed cycles, Table IV multiplies by cpus_per_cycle().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/option_set.hpp"
+#include "util/rng.hpp"
+
+namespace mwr::core {
+
+/// Which MWU realization to instantiate: the paper's three, plus Exp3 as a
+/// library extension (see core/exp3_mwu.hpp; excluded from the paper-table
+/// benches).
+enum class MwuKind { kStandard, kSlate, kDistributed, kExp3 };
+
+[[nodiscard]] std::string to_string(MwuKind kind);
+
+/// Shared configuration.  Defaults follow the paper's experimental design
+/// (§IV-B): exploration probabilities mu = gamma = 0.05, error threshold
+/// epsilon = 0.05, iteration cap 10000, Standard/Slate convergence tolerance
+/// 1e-5, Distributed plurality threshold 30%.
+struct MwuConfig {
+  std::size_t num_options = 0;      ///< k — set per dataset.
+  std::size_t num_agents = 64;      ///< n — parallel threads for Standard.
+  std::size_t max_iterations = 10000;
+  double learning_rate = 0.025;     ///< eta <= 1/2; eta = epsilon/2 (§IV-B).
+  double exploration = 0.05;        ///< mu (Distributed) = gamma (Slate).
+  double epsilon = 0.05;            ///< error threshold (fixes eta's scale).
+  double convergence_tol = 1e-5;    ///< Standard/Slate: gap to max probability.
+  double plurality_threshold = 0.30;///< Distributed: plurality fraction.
+  double adopt_success = 0.90;      ///< beta — adopt a successful observation.
+  double adopt_failure = 0.005;     ///< alpha — adopt a failed observation.
+  /// Distributed population = ceil(pop_scale * k^pop_exponent); the
+  /// super-linear exponent is the paper's "exponential dependence of the
+  /// population size on the scenario size" (§IV-C).
+  double pop_scale = 4.0;
+  double pop_exponent = 1.3;
+  /// Populations above this are declared intractable, reproducing the two
+  /// "—" cells of Tables II-IV.
+  std::size_t max_population = 1'000'000;
+  /// Standard only: textbook weighted-majority mode.  The paper notes that
+  /// "Standard assumes full visibility of the quality of each option on
+  /// each iteration" (§II-B); with this flag every option is evaluated once
+  /// per cycle (the cycle costs k CPUs instead of num_agents) and weights
+  /// take the classic penalty update w_i *= (1 - eta)^cost_i.  Off by
+  /// default: the bandit-feedback mode is what the evaluation uses.
+  bool full_information = false;
+};
+
+/// Outcome of one complete run.
+struct MwuResult {
+  bool converged = false;
+  bool intractable = false;         ///< Distributed only: population too large.
+  std::size_t iterations = 0;       ///< completed update cycles.
+  std::size_t best_option = 0;      ///< highest-probability / plurality option.
+  std::size_t cpus_per_cycle = 0;   ///< agents active per cycle (Table IV).
+  std::uint64_t evaluations = 0;    ///< total oracle probes.
+  std::vector<double> probabilities;///< final distribution over options.
+
+  /// Table IV's metric.
+  [[nodiscard]] std::uint64_t cpu_iterations() const noexcept {
+    return static_cast<std::uint64_t>(iterations) * cpus_per_cycle;
+  }
+};
+
+/// Abstract MWU realization.  Implementations own all algorithm state;
+/// sample/update must be called alternately, starting with sample.
+class MwuStrategy {
+ public:
+  virtual ~MwuStrategy() = default;
+
+  /// Resets state to the initial distribution.
+  virtual void init() = 0;
+
+  /// Names the options to probe this cycle (size == cpus_per_cycle()).
+  [[nodiscard]] virtual std::vector<std::size_t> sample(util::RngStream& rng) = 0;
+
+  /// Folds this cycle's binary rewards back in.  `options` must be the
+  /// vector returned by the immediately-preceding sample().
+  virtual void update(std::span<const std::size_t> options,
+                      std::span<const double> rewards,
+                      util::RngStream& rng) = 0;
+
+  /// Current probability the algorithm assigns to each option.
+  [[nodiscard]] virtual std::vector<double> probabilities() const = 0;
+
+  /// Whether the convergence criterion holds for the current state.
+  [[nodiscard]] virtual bool converged() const = 0;
+
+  /// The option the algorithm currently prefers.
+  [[nodiscard]] virtual std::size_t best_option() const = 0;
+
+  /// Agents (CPUs) active in each cycle.
+  [[nodiscard]] virtual std::size_t cpus_per_cycle() const = 0;
+
+  [[nodiscard]] virtual MwuKind kind() const = 0;
+};
+
+/// Instantiates one of the three realizations for the given configuration.
+/// Throws std::invalid_argument on inconsistent configuration (k == 0,
+/// eta > 1/2, exploration outside [0,1], alpha > beta).
+[[nodiscard]] std::unique_ptr<MwuStrategy> make_mwu(MwuKind kind,
+                                                    const MwuConfig& config);
+
+/// Runs a strategy against an oracle to convergence or the iteration cap.
+/// This is the loop the evaluation harness (Tables II-IV) executes.
+[[nodiscard]] MwuResult run_mwu(MwuStrategy& strategy, const CostOracle& oracle,
+                                const MwuConfig& config, util::RngStream rng);
+
+/// Convenience: construct + run, handling the Distributed intractability
+/// case (population over config.max_population) by returning an
+/// `intractable` result without executing.
+[[nodiscard]] MwuResult run_mwu(MwuKind kind, const CostOracle& oracle,
+                                const MwuConfig& config, util::RngStream rng);
+
+/// The Distributed population size for a given configuration.
+[[nodiscard]] std::size_t distributed_population(const MwuConfig& config);
+
+}  // namespace mwr::core

@@ -1,0 +1,105 @@
+// Options and cost oracles: the bandit-problem side of the MWU interface.
+//
+// An option's hidden quality is a value in [0, 1] (higher is better).  The
+// algorithms never see values directly; they see stochastic binary outcomes
+// through a CostOracle, mirroring the paper's formulation where "the cost
+// (reward) is 1 if the sample is correct and 0 otherwise" (§II-A).  In the
+// APR application the oracle is a real probe — patch, run the test suite —
+// which is why oracles are also where evaluation counting lives (fitness
+// evaluations are the currency of Table IV and §IV-G).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwr::core {
+
+/// A named set of options with hidden values in [0, 1].
+class OptionSet {
+ public:
+  /// Throws std::invalid_argument on an empty set or out-of-range values.
+  OptionSet(std::string name, std::vector<double> values);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] double value(std::size_t option) const { return values_.at(option); }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
+  /// Index of the best option in hindsight (ties broken toward the lowest
+  /// index, deterministically).
+  [[nodiscard]] std::size_t best_option() const noexcept { return best_; }
+  [[nodiscard]] double best_value() const noexcept { return values_[best_]; }
+
+  /// The paper's Table III accuracy metric: 100 minus the absolute percent
+  /// error of the chosen option's value relative to the best in hindsight.
+  [[nodiscard]] double accuracy_percent(std::size_t chosen) const;
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+  std::size_t best_ = 0;
+};
+
+/// Abstract probe: evaluates one option, returning reward 1 or 0.
+/// Implementations must be safe for concurrent calls on distinct RngStreams.
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+
+  /// Number of options this oracle can evaluate.
+  [[nodiscard]] virtual std::size_t num_options() const = 0;
+
+  /// One stochastic evaluation of `option`; 1.0 = success, 0.0 = failure.
+  [[nodiscard]] virtual double sample(std::size_t option,
+                                      util::RngStream& rng) const = 0;
+};
+
+/// Bernoulli oracle over an OptionSet: sample(i) ~ Bernoulli(value_i).
+class BernoulliOracle final : public CostOracle {
+ public:
+  explicit BernoulliOracle(const OptionSet& options) noexcept
+      : options_(&options) {}
+
+  [[nodiscard]] std::size_t num_options() const override {
+    return options_->size();
+  }
+  [[nodiscard]] double sample(std::size_t option,
+                              util::RngStream& rng) const override {
+    return rng.bernoulli(options_->value(option)) ? 1.0 : 0.0;
+  }
+
+ private:
+  const OptionSet* options_;
+};
+
+/// Decorator that counts evaluations.  The counter is a relaxed atomic so
+/// the parallel drivers can share one instance across ranks.
+class CountingOracle final : public CostOracle {
+ public:
+  explicit CountingOracle(const CostOracle& inner) noexcept : inner_(&inner) {}
+
+  [[nodiscard]] std::size_t num_options() const override {
+    return inner_->num_options();
+  }
+  [[nodiscard]] double sample(std::size_t option,
+                              util::RngStream& rng) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->sample(option, rng);
+  }
+
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const CostOracle* inner_;
+  mutable std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace mwr::core

@@ -1,0 +1,187 @@
+#include "core/parallel_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/distributed_mwu.hpp"
+#include "core/standard_mwu.hpp"
+
+namespace mwr::core {
+
+namespace {
+// User-level tags for the SPMD drivers (below the collective tag space).
+constexpr int kTagObserveRequest = 100;
+constexpr int kTagObserveReply = 101;
+constexpr int kTagChoiceSnapshot = 102;
+constexpr int kTagContinue = 103;
+
+// Brackets a congestion-cycle close between two barriers so that no rank's
+// sends from the next phase leak into the closing cycle.
+void close_cycle(parallel::Comm& comm) {
+  comm.barrier();
+  if (comm.rank() == 0) comm.close_congestion_cycle();
+  comm.barrier();
+}
+}  // namespace
+
+ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
+                                    const MwuConfig& config,
+                                    std::uint64_t seed) {
+  const std::size_t n = config.num_agents;
+  if (n == 0) throw std::invalid_argument("run_standard_spmd: no agents");
+  parallel::CommWorld world(n);
+  const CountingOracle counted(oracle);
+
+  // Each rank advances an identical replica of the weight state: sampling
+  // uses the rank's private stream, updates use the allreduced counts, so
+  // the replicas never diverge.
+  MwuConfig rank_config = config;
+  rank_config.num_agents = 1;
+
+  ParallelMwuResult out;
+  out.result.cpus_per_cycle = n;
+
+  world.run([&](parallel::Comm& comm) {
+    util::RngStream rng(seed + 0x9e37 * static_cast<std::uint64_t>(comm.rank()));
+    StandardMwu replica(rank_config);
+    std::size_t iterations = 0;
+    bool converged = false;
+    for (std::size_t t = 0; t < config.max_iterations; ++t) {
+      const auto probe = replica.sample(rng);
+      std::vector<double> counts(config.num_options, 0.0);
+      counts[probe[0]] += counted.sample(probe[0], rng);
+      const auto total_counts = comm.allreduce_sum(std::move(counts));
+      replica.apply_reward_counts(total_counts);
+      ++iterations;
+      close_cycle(comm);
+      if (replica.converged()) {
+        converged = true;
+        break;
+      }
+    }
+    if (comm.rank() == 0) {
+      out.result.converged = converged;
+      out.result.iterations = iterations;
+      out.result.best_option = replica.best_option();
+      out.result.probabilities = replica.probabilities();
+    }
+  });
+
+  out.result.evaluations = counted.evaluations();
+  out.max_congestion_per_cycle = world.congestion().max_per_cycle();
+  out.total_messages = world.congestion().total_messages();
+  return out;
+}
+
+ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
+                                       const MwuConfig& config,
+                                       std::uint64_t seed,
+                                       std::size_t population_override) {
+  const std::size_t population = population_override
+                                     ? population_override
+                                     : distributed_population(config);
+  if (population == 0)
+    throw std::invalid_argument("run_distributed_spmd: empty population");
+  parallel::CommWorld world(population);
+  const CountingOracle counted(oracle);
+
+  ParallelMwuResult out;
+  out.result.cpus_per_cycle = population;
+
+  world.run([&](parallel::Comm& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    util::RngStream rng(seed + 0x51ed * static_cast<std::uint64_t>(rank));
+    // Round-robin initial choice, as in the sequential implementation.
+    std::size_t choice = rank % config.num_options;
+
+    std::size_t iterations = 0;
+    bool converged = false;
+    for (std::size_t t = 0; t < config.max_iterations; ++t) {
+      // --- Sample: pick a random option, or request a random neighbor's
+      // current choice (the tracked communication of this algorithm).
+      bool observing = false;
+      std::size_t observed = 0;
+      if (rng.bernoulli(config.exploration)) {
+        observed = rng.uniform_index(config.num_options);
+      } else {
+        observing = true;
+        const auto neighbor =
+            static_cast<int>(rng.uniform_index(world.size()));
+        comm.send(neighbor, kTagObserveRequest, {});
+      }
+      comm.barrier();  // all requests delivered
+
+      // --- Serve requests: reply with our current choice (bookkeeping).
+      while (auto request = comm.try_recv(parallel::kAnySource,
+                                          kTagObserveRequest)) {
+        comm.send_untracked(request->source, kTagObserveReply,
+                            {static_cast<double>(choice)});
+      }
+      comm.barrier();  // all replies delivered
+      if (observing) {
+        const auto reply =
+            comm.try_recv(parallel::kAnySource, kTagObserveReply);
+        if (!reply)
+          throw std::logic_error("distributed SPMD: missing observe reply");
+        observed = static_cast<std::size_t>(reply->payload.at(0));
+      }
+
+      // --- Update: evaluate the observed option once and adopt
+      // stochastically (beta on success, alpha on failure).
+      const bool success = counted.sample(observed, rng) > 0.0;
+      const double adopt_probability =
+          success ? config.adopt_success : config.adopt_failure;
+      if (rng.bernoulli(adopt_probability)) choice = observed;
+
+      // --- Convergence snapshot (bookkeeping, untracked): rank 0 collects
+      // all choices and broadcasts whether the plurality threshold is met.
+      comm.send_untracked(0, kTagChoiceSnapshot,
+                          {static_cast<double>(choice)});
+      bool stop = false;
+      if (comm.rank() == 0) {
+        std::vector<std::uint32_t> popularity(config.num_options, 0);
+        for (std::size_t j = 0; j < population; ++j) {
+          const auto snapshot =
+              comm.recv(parallel::kAnySource, kTagChoiceSnapshot);
+          ++popularity[static_cast<std::size_t>(snapshot.payload.at(0))];
+        }
+        const auto max_count =
+            *std::max_element(popularity.begin(), popularity.end());
+        stop = static_cast<double>(max_count) >=
+               config.plurality_threshold * static_cast<double>(population);
+        for (std::size_t r = 1; r < population; ++r) {
+          comm.send_untracked(static_cast<int>(r), kTagContinue,
+                              {stop ? 1.0 : 0.0});
+        }
+        out.result.best_option = static_cast<std::size_t>(
+            std::max_element(popularity.begin(), popularity.end()) -
+            popularity.begin());
+        out.result.probabilities.assign(config.num_options, 0.0);
+        for (std::size_t i = 0; i < config.num_options; ++i) {
+          out.result.probabilities[i] = static_cast<double>(popularity[i]) /
+                                        static_cast<double>(population);
+        }
+      } else {
+        stop = comm.recv(0, kTagContinue).payload.at(0) > 0.0;
+      }
+      ++iterations;
+      close_cycle(comm);  // close the tracked (request) congestion cycle
+      if (stop) {
+        converged = true;
+        break;
+      }
+    }
+    if (comm.rank() == 0) {
+      out.result.converged = converged;
+      out.result.iterations = iterations;
+    }
+  });
+
+  out.result.evaluations = counted.evaluations();
+  out.max_congestion_per_cycle = world.congestion().max_per_cycle();
+  out.total_messages = world.congestion().total_messages();
+  return out;
+}
+
+}  // namespace mwr::core

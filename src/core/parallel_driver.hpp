@@ -1,0 +1,54 @@
+// SPMD drivers: the MWU algorithms executed for real over the
+// message-passing substrate, one rank per agent.
+//
+// The sequential MwuStrategy implementations are the fast path the
+// evaluation harness sweeps with (Tables II-IV); these drivers exist to
+// demonstrate and *measure* the communication patterns the paper analyzes
+// in Table I:
+//
+//   Standard    — every cycle ends in a centralized reduction of the
+//                 per-option reward counts (gather to rank 0 + broadcast),
+//                 so the heaviest-hit node receives O(n) messages;
+//   Distributed — every cycle each agent sends one observation request to
+//                 a uniformly random neighbor, so the heaviest-hit node
+//                 receives the balls-into-bins maximum,
+//                 O(ln n / ln ln n) with high probability.
+//
+// Both drivers return the standard MwuResult plus the measured per-cycle
+// maximum congestion so benches/tests can check the bounds empirically.
+#pragma once
+
+#include <cstddef>
+
+#include "core/mwu.hpp"
+#include "parallel/comm.hpp"
+#include "util/stats.hpp"
+
+namespace mwr::core {
+
+/// Result of an SPMD run: the algorithm outcome plus congestion statistics
+/// (per-cycle maximum over nodes, aggregated over cycles).
+struct ParallelMwuResult {
+  MwuResult result;
+  util::RunningStats max_congestion_per_cycle;
+  std::uint64_t total_messages = 0;
+};
+
+/// Runs Standard MWU with `num_agents` ranks, each evaluating one probe per
+/// cycle; weights are replicated and advanced identically on every rank from
+/// the allreduced reward counts.  The oracle must be safe for concurrent
+/// sampling (distinct RngStreams per rank).
+[[nodiscard]] ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
+                                                  const MwuConfig& config,
+                                                  std::uint64_t seed);
+
+/// Runs Distributed MWU with one rank per population member.  Population is
+/// taken from config via distributed_population() unless
+/// `population_override` is nonzero (tests keep it small: each member is a
+/// real thread here).  Only observation requests are congestion-tracked;
+/// replies and convergence snapshots are harness bookkeeping.
+[[nodiscard]] ParallelMwuResult run_distributed_spmd(
+    const CostOracle& oracle, const MwuConfig& config, std::uint64_t seed,
+    std::size_t population_override = 0);
+
+}  // namespace mwr::core

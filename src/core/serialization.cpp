@@ -1,0 +1,112 @@
+#include "core/serialization.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/distributed_mwu.hpp"
+#include "core/exp3_mwu.hpp"
+#include "core/slate_mwu.hpp"
+#include "core/standard_mwu.hpp"
+
+namespace mwr::core {
+
+namespace {
+constexpr const char* kMagic = "mwr-mwu-state v1";
+
+std::vector<double> state_of(const MwuStrategy& strategy) {
+  if (const auto* standard = dynamic_cast<const StandardMwu*>(&strategy)) {
+    return standard->weights();
+  }
+  if (const auto* slate = dynamic_cast<const SlateMwu*>(&strategy)) {
+    return slate->weights();
+  }
+  if (const auto* exp3 = dynamic_cast<const Exp3Mwu*>(&strategy)) {
+    return exp3->weights();
+  }
+  if (const auto* distributed =
+          dynamic_cast<const DistributedMwu*>(&strategy)) {
+    std::vector<double> state;
+    state.reserve(distributed->choices().size());
+    for (const auto c : distributed->choices()) {
+      state.push_back(static_cast<double>(c));
+    }
+    return state;
+  }
+  throw std::invalid_argument("save_state: unknown strategy type");
+}
+
+void restore(MwuStrategy& strategy, const std::vector<double>& state) {
+  if (auto* standard = dynamic_cast<StandardMwu*>(&strategy)) {
+    standard->set_weights(state);
+    return;
+  }
+  if (auto* slate = dynamic_cast<SlateMwu*>(&strategy)) {
+    slate->set_weights(state);
+    return;
+  }
+  if (auto* exp3 = dynamic_cast<Exp3Mwu*>(&strategy)) {
+    exp3->set_weights(state);
+    return;
+  }
+  if (auto* distributed = dynamic_cast<DistributedMwu*>(&strategy)) {
+    std::vector<std::uint32_t> choices;
+    choices.reserve(state.size());
+    for (const double v : state) {
+      choices.push_back(static_cast<std::uint32_t>(v));
+    }
+    distributed->set_choices(choices);
+    return;
+  }
+  throw std::invalid_argument("load_state: unknown strategy type");
+}
+}  // namespace
+
+void save_state(const MwuStrategy& strategy, std::ostream& os) {
+  const auto state = state_of(strategy);
+  os << kMagic << "\n"
+     << to_string(strategy.kind()) << " "
+     << strategy.probabilities().size() << " " << state.size() << "\n"
+     << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const double v : state) os << v << "\n";
+  if (!os) throw std::runtime_error("save_state: stream write failed");
+}
+
+void load_state(MwuStrategy& strategy, std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic)
+    throw std::runtime_error("load_state: bad magic line: " + magic);
+  std::string kind;
+  std::size_t options = 0;
+  std::size_t size = 0;
+  if (!(is >> kind >> options >> size))
+    throw std::runtime_error("load_state: malformed header");
+  if (kind != to_string(strategy.kind()))
+    throw std::runtime_error("load_state: kind mismatch: file has " + kind +
+                             ", strategy is " + to_string(strategy.kind()));
+  if (options != strategy.probabilities().size())
+    throw std::runtime_error("load_state: option-count mismatch");
+  std::vector<double> state(size);
+  for (auto& v : state) {
+    if (!(is >> v)) throw std::runtime_error("load_state: truncated state");
+  }
+  restore(strategy, state);
+}
+
+void save_state_file(const MwuStrategy& strategy, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_state_file: cannot open " + path);
+  save_state(strategy, f);
+}
+
+void load_state_file(MwuStrategy& strategy, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_state_file: cannot open " + path);
+  load_state(strategy, f);
+}
+
+}  // namespace mwr::core

@@ -1,0 +1,37 @@
+// Checkpointing for long-running MWU searches.
+//
+// An APR campaign can run for hours against an expensive test suite;
+// losing learned weights to a restart wastes every probe paid for so far.
+// These functions serialize a strategy's learned state (weights for the
+// global-memory variants, the choice vector for Distributed) to a
+// versioned, line-oriented text format and restore it into a freshly
+// constructed strategy of the same kind and shape.
+//
+// The format is deliberately human-readable:
+//   mwr-mwu-state v1
+//   <kind> <num_options> <state_size>
+//   <state values, one per line, full double precision>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mwu.hpp"
+
+namespace mwr::core {
+
+/// Writes the strategy's learned state.  Throws std::runtime_error on I/O
+/// failure and std::invalid_argument for strategies with no serializable
+/// state representation.
+void save_state(const MwuStrategy& strategy, std::ostream& os);
+
+/// Restores state saved by save_state into `strategy`.  The stream must
+/// describe the same kind and option count; throws std::runtime_error on
+/// format/compatibility mismatch.
+void load_state(MwuStrategy& strategy, std::istream& is);
+
+/// Convenience file-path wrappers.
+void save_state_file(const MwuStrategy& strategy, const std::string& path);
+void load_state_file(MwuStrategy& strategy, const std::string& path);
+
+}  // namespace mwr::core

@@ -1,0 +1,113 @@
+#include "core/slate_mwu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/slate_projection.hpp"
+
+namespace mwr::core {
+
+std::size_t SlateMwu::slate_size_for(std::size_t num_options, double gamma) {
+  const auto k = static_cast<double>(num_options);
+  auto s = static_cast<std::size_t>(std::lround(gamma * k));
+  s = std::max<std::size_t>(1, s);
+  return std::min(s, num_options);
+}
+
+SlateMwu::SlateMwu(const MwuConfig& config) : config_(config) {
+  if (config.num_options == 0)
+    throw std::invalid_argument("SlateMwu: num_options == 0");
+  if (config.exploration <= 0.0 || config.exploration > 1.0)
+    throw std::invalid_argument("SlateMwu: gamma must be in (0, 1]");
+  if (config.learning_rate <= 0.0 || config.learning_rate > 0.5)
+    throw std::invalid_argument("SlateMwu: eta must be in (0, 1/2]");
+  slate_size_ = slate_size_for(config.num_options, config.exploration);
+  init();
+}
+
+void SlateMwu::init() {
+  weights_.assign(config_.num_options, 1.0);
+  total_weight_ = static_cast<double>(config_.num_options);
+}
+
+std::vector<double> SlateMwu::probabilities() const {
+  const double gamma = config_.exploration;
+  const double floor = gamma / static_cast<double>(weights_.size());
+  std::vector<double> p(weights_.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = (1.0 - gamma) * weights_[i] / total_weight_ + floor;
+  }
+  return p;
+}
+
+std::vector<std::size_t> SlateMwu::sample(util::RngStream& rng) {
+  const auto p = probabilities();
+  const auto q = cap_to_slate_marginals(p, slate_size_);
+  if (sampler_ == Sampler::kDecomposition) {
+    // The paper's construction: decompose q into a convex combination of
+    // slate vertices and draw one vertex by its coefficient.
+    const auto components = decompose_into_slates(q, slate_size_);
+    std::vector<double> coefficients;
+    coefficients.reserve(components.size());
+    for (const auto& component : components) {
+      coefficients.push_back(component.coefficient);
+    }
+    const std::size_t pick = rng.weighted_choice(coefficients);
+    return components[std::min(pick, components.size() - 1)].members;
+  }
+  return systematic_sample(q, slate_size_, rng);
+}
+
+void SlateMwu::update(std::span<const std::size_t> options,
+                      std::span<const double> rewards,
+                      util::RngStream& /*rng*/) {
+  if (options.size() != rewards.size())
+    throw std::invalid_argument("SlateMwu::update: size mismatch");
+  const double growth = 1.0 + config_.learning_rate;
+  double max_weight = 0.0;
+  for (std::size_t j = 0; j < options.size(); ++j) {
+    if (rewards[j] > 0.0) weights_[options[j]] *= growth;
+  }
+  for (double w : weights_) max_weight = std::max(max_weight, w);
+  total_weight_ = 0.0;
+  for (auto& w : weights_) {
+    w /= max_weight;
+    total_weight_ += w;
+  }
+}
+
+void SlateMwu::set_weights(std::vector<double> weights) {
+  if (weights.size() != config_.num_options)
+    throw std::invalid_argument("SlateMwu::set_weights: wrong width");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument("SlateMwu::set_weights: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("SlateMwu::set_weights: zero total");
+  weights_ = std::move(weights);
+  total_weight_ = total;
+}
+
+double SlateMwu::max_achievable_probability() const noexcept {
+  const double gamma = config_.exploration;
+  return (1.0 - gamma) + gamma / static_cast<double>(weights_.size());
+}
+
+bool SlateMwu::converged() const {
+  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  const double gamma = config_.exploration;
+  const double p_max = (1.0 - gamma) * max_w / total_weight_ +
+                       gamma / static_cast<double>(weights_.size());
+  return p_max >= max_achievable_probability() - config_.convergence_tol;
+}
+
+std::size_t SlateMwu::best_option() const {
+  return static_cast<std::size_t>(
+      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+}
+
+}  // namespace mwr::core

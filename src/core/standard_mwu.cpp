@@ -1,0 +1,118 @@
+#include "core/standard_mwu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mwr::core {
+
+StandardMwu::StandardMwu(const MwuConfig& config) : config_(config) {
+  if (config.num_options == 0)
+    throw std::invalid_argument("StandardMwu: num_options == 0");
+  if (config.num_agents == 0)
+    throw std::invalid_argument("StandardMwu: num_agents == 0");
+  if (config.learning_rate <= 0.0 || config.learning_rate > 0.5)
+    throw std::invalid_argument("StandardMwu: eta must be in (0, 1/2]");
+  init();
+}
+
+void StandardMwu::init() {
+  weights_.assign(config_.num_options, 1.0);
+  total_weight_ = static_cast<double>(config_.num_options);
+}
+
+std::vector<std::size_t> StandardMwu::sample(util::RngStream& rng) {
+  if (config_.full_information) {
+    // Weighted majority proper: one probe per option, every cycle.
+    std::vector<std::size_t> assigned(config_.num_options);
+    std::iota(assigned.begin(), assigned.end(), std::size_t{0});
+    return assigned;
+  }
+  std::vector<std::size_t> assigned(config_.num_agents);
+  for (auto& option : assigned) {
+    option = rng.weighted_choice(weights_, total_weight_);
+  }
+  return assigned;
+}
+
+void StandardMwu::update(std::span<const std::size_t> options,
+                         std::span<const double> rewards,
+                         util::RngStream& /*rng*/) {
+  if (options.size() != rewards.size())
+    throw std::invalid_argument("StandardMwu::update: size mismatch");
+  if (config_.full_information) {
+    // Classic penalty update on the full cost vector: w *= (1 - eta)^cost.
+    const double decay = 1.0 - config_.learning_rate;
+    double max_weight = 0.0;
+    for (std::size_t j = 0; j < options.size(); ++j) {
+      const double cost = 1.0 - rewards[j];
+      if (cost > 0.0) weights_[options[j]] *= std::pow(decay, cost);
+    }
+    for (const double w : weights_) max_weight = std::max(max_weight, w);
+    total_weight_ = 0.0;
+    for (auto& w : weights_) {
+      w /= max_weight;
+      total_weight_ += w;
+    }
+    return;
+  }
+  std::vector<double> counts(config_.num_options, 0.0);
+  for (std::size_t j = 0; j < options.size(); ++j) {
+    counts[options[j]] += rewards[j];
+  }
+  apply_reward_counts(counts);
+}
+
+void StandardMwu::apply_reward_counts(std::span<const double> counts) {
+  if (counts.size() != weights_.size())
+    throw std::invalid_argument("StandardMwu: counts width != k");
+  const double growth = 1.0 + config_.learning_rate;
+  double max_weight = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (counts[i] > 0.0) weights_[i] *= std::pow(growth, counts[i]);
+    max_weight = std::max(max_weight, weights_[i]);
+  }
+  // Renormalize by the maximum: ratios (hence probabilities) are preserved
+  // and the state stays in floating-point range indefinitely.
+  total_weight_ = 0.0;
+  for (auto& w : weights_) {
+    w /= max_weight;
+    total_weight_ += w;
+  }
+}
+
+void StandardMwu::set_weights(std::vector<double> weights) {
+  if (weights.size() != config_.num_options)
+    throw std::invalid_argument("StandardMwu::set_weights: wrong width");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument("StandardMwu::set_weights: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("StandardMwu::set_weights: zero total");
+  weights_ = std::move(weights);
+  total_weight_ = total;
+}
+
+std::vector<double> StandardMwu::probabilities() const {
+  std::vector<double> p(weights_.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = weights_[i] / total_weight_;
+  return p;
+}
+
+bool StandardMwu::converged() const {
+  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  // Maximum possible probability is 1 (no exploration floor); the paper's
+  // criterion is a 1e-5 tolerance relative to that maximum (§IV-C).
+  return max_w / total_weight_ >= 1.0 - config_.convergence_tol;
+}
+
+std::size_t StandardMwu::best_option() const {
+  return static_cast<std::size_t>(
+      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+}
+
+}  // namespace mwr::core

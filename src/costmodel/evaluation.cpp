@@ -1,0 +1,83 @@
+#include "costmodel/evaluation.hpp"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mwr::costmodel {
+
+namespace {
+// Fills one (dataset, kind) cell.  Replication seeds depend only on the
+// master seed, the kind, and the instance size — never on scheduling — so
+// the sweep is reproducible at any thread count.
+void fill_cell(EvalCell& cell, const datasets::Dataset& dataset,
+               const EvalConfig& config, core::MwuKind kind) {
+  const core::BernoulliOracle oracle(dataset.options);
+  core::MwuConfig mwu = config.mwu;
+  mwu.num_options = dataset.options.size();
+  mwu.max_iterations = config.max_iterations;
+  for (std::size_t s = 0; s < config.seeds; ++s) {
+    util::RngStream rng(config.master_seed ^
+                        (0x9e3779b97f4a7c15ULL * (s + 1)) ^
+                        (static_cast<std::uint64_t>(kind) << 40) ^
+                        (cell.size * 0xc2b2ae3dULL));
+    const auto result = core::run_mwu(kind, oracle, mwu, std::move(rng));
+    cell.iterations.add(static_cast<double>(result.iterations));
+    cell.accuracy.add(dataset.options.accuracy_percent(result.best_option));
+    cell.cpu_iterations.add(static_cast<double>(result.cpu_iterations()));
+    cell.cpus_per_cycle = result.cpus_per_cycle;
+    if (result.converged) ++cell.converged_runs;
+  }
+}
+}  // namespace
+
+std::vector<EvalCell> run_evaluation(const EvalConfig& config) {
+  const auto suite =
+      datasets::standard_suite(config.master_seed, config.max_size);
+  constexpr core::MwuKind kColumnOrder[] = {core::MwuKind::kStandard,
+                                            core::MwuKind::kDistributed,
+                                            core::MwuKind::kSlate};
+
+  // Lay the cells out first (dataset-major, paper column order), then fill
+  // them — serially or fanned out over the worker pool.
+  std::vector<EvalCell> cells;
+  cells.reserve(suite.size() * 3);
+  for (const auto& dataset : suite) {
+    core::MwuConfig mwu = config.mwu;
+    mwu.num_options = dataset.options.size();
+    for (const auto kind : kColumnOrder) {
+      EvalCell cell;
+      cell.family = dataset.family;
+      cell.dataset = dataset.options.name();
+      cell.size = dataset.options.size();
+      cell.kind = kind;
+      cell.intractable =
+          kind == core::MwuKind::kDistributed &&
+          core::distributed_population(mwu) > mwu.max_population;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const auto fill = [&](std::size_t index) {
+    EvalCell& cell = cells[index];
+    if (cell.intractable) return;
+    fill_cell(cell, suite[index / 3], config, cell.kind);
+  };
+  if (config.threads > 1) {
+    parallel::ThreadPool workers(config.threads);
+    workers.parallel_for_index(cells.size(), fill);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) fill(i);
+  }
+  return cells;
+}
+
+const EvalCell& find_cell(const std::vector<EvalCell>& cells,
+                          const std::string& dataset, core::MwuKind kind) {
+  for (const auto& cell : cells) {
+    if (cell.dataset == dataset && cell.kind == kind) return cell;
+  }
+  throw std::invalid_argument("find_cell: no cell for " + dataset);
+}
+
+}  // namespace mwr::costmodel

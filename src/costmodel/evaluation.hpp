@@ -1,0 +1,54 @@
+// The shared experiment harness behind Tables II, III, and IV: every
+// algorithm on every dataset with `seeds` replications, collecting
+// convergence cycles, accuracy, and CPU-iteration cost in one pass so the
+// three table benches report mutually consistent numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "costmodel/asymptotics.hpp"
+#include "datasets/suite.hpp"
+#include "util/stats.hpp"
+
+namespace mwr::costmodel {
+
+struct EvalConfig {
+  std::size_t seeds = 10;             ///< replications per cell (paper: 100).
+  std::size_t max_size = 1024;        ///< skip larger instances (paper: 16384).
+  std::size_t max_iterations = 10000; ///< the paper's iteration cap.
+  std::uint64_t master_seed = 20210525;
+  core::MwuConfig mwu;                ///< base algorithm parameters (§IV-B).
+  /// Worker threads the sweep fans cells out over.  Every replication is
+  /// seeded independently of scheduling, so results are identical for any
+  /// thread count.
+  std::size_t threads = 1;
+};
+
+/// One (dataset, algorithm) cell aggregated over the replications.
+struct EvalCell {
+  std::string family;             ///< random / unimodal / C / Java.
+  std::string dataset;
+  std::size_t size = 0;           ///< k.
+  core::MwuKind kind = core::MwuKind::kStandard;
+  bool intractable = false;       ///< Distributed population too large.
+  util::RunningStats iterations;  ///< update cycles (capped runs count the cap).
+  util::RunningStats accuracy;    ///< Table III metric, percent.
+  util::RunningStats cpu_iterations;
+  std::size_t cpus_per_cycle = 0;
+  std::size_t converged_runs = 0;
+};
+
+/// Runs the full sweep: every algorithm on every dataset of the standard
+/// suite.  Cells are ordered dataset-major (random, unimodal, C, Java),
+/// algorithm-minor (Standard, Distributed, Slate — the paper's column
+/// order).
+[[nodiscard]] std::vector<EvalCell> run_evaluation(const EvalConfig& config);
+
+/// Convenience lookup into run_evaluation() output.
+[[nodiscard]] const EvalCell& find_cell(const std::vector<EvalCell>& cells,
+                                        const std::string& dataset,
+                                        core::MwuKind kind);
+
+}  // namespace mwr::costmodel

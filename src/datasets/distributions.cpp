@@ -1,0 +1,71 @@
+#include "datasets/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mwr::datasets {
+
+std::vector<std::size_t> synthetic_sizes() {
+  return {64, 256, 1024, 4096, 16384};
+}
+
+core::OptionSet make_random(std::size_t size, std::uint64_t seed) {
+  util::RngStream rng(seed);
+  std::vector<double> values(size);
+  for (auto& v : values) v = rng.uniform();
+  return core::OptionSet("random" + std::to_string(size), std::move(values));
+}
+
+double unimodal_curve(double x, const UnimodalParams& params) {
+  return params.a * x * std::exp(-params.b * x) + params.c;
+}
+
+core::OptionSet make_unimodal(std::size_t size, const UnimodalParams& params,
+                              std::uint64_t noise_seed, double noise) {
+  util::RngStream rng(noise_seed);
+  std::vector<double> values(size);
+  const auto k = static_cast<double>(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double x = params.span * static_cast<double>(i) / k;
+    values[i] = unimodal_curve(x, params);
+    if (noise > 0.0) values[i] += noise * (rng.uniform() - 0.5);
+  }
+  if (params.rescale) {
+    // Rescale into [floor, ceil] so every option keeps a usable Bernoulli
+    // signal and the best value is bounded away from 1.
+    const auto [lo_it, hi_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double lo = *lo_it;
+    const double range = std::max(*hi_it - lo, 1e-12);
+    for (auto& v : values) {
+      v = params.floor + (params.ceil - params.floor) * (v - lo) / range;
+    }
+  } else {
+    // Raw curve, scaled down only if the peak escapes the unit interval.
+    const double peak = *std::max_element(values.begin(), values.end());
+    if (peak > 1.0) {
+      for (auto& v : values) v /= peak;
+    }
+    for (auto& v : values) v = std::clamp(v, 0.0, 1.0);
+  }
+  return core::OptionSet("unimodal" + std::to_string(size), std::move(values));
+}
+
+core::OptionSet make_unimodal(std::size_t size, std::uint64_t seed) {
+  util::RngStream rng(seed);
+  UnimodalParams params;
+  // a, b, c drawn uniformly as in the paper, with a and b bounded mildly
+  // away from zero so every drawn instance keeps a resolvable peak (a
+  // degenerate flat draw stalls every algorithm at the iteration cap, which
+  // tells us nothing).  Each size draws fresh parameters, reproducing the
+  // paper's per-size difficulty variance.
+  params.a = rng.uniform(0.3, 1.0);
+  params.c = rng.uniform(0.0, 0.6);
+  params.b = rng.uniform(0.05, 1.0);
+  params.span = static_cast<double>(size);  // raw option index as abscissa
+  params.rescale = false;                   // the paper's raw-curve convention
+  return make_unimodal(size, params, rng.next_u64(), /*noise=*/0.0);
+}
+
+}  // namespace mwr::datasets

@@ -1,0 +1,64 @@
+// Synthetic dataset families for the MWU evaluation (paper §IV-A).
+//
+// Two generic families:
+//   random   — each option value independently uniform on the unit
+//              interval; "a proxy for the class of distributions where the
+//              value of each option is not correlated with surrounding
+//              options".  Larger instances are harder: more near-ties.
+//   unimodal — values follow a * x * exp(-b * x) + c with a, b, c drawn
+//              uniformly at random from the unit interval; "we have strong
+//              evidence that most bug repair scenarios are unimodal"
+//              (§III-B).
+//
+// Calibration note: the paper evaluates instance sizes 2^6 .. 2^14 with the
+// same functional form at every size.  With x taken as the raw option index
+// the peak location 1/b would almost always fall within the first handful
+// of options; we therefore map the option index onto a fixed abscissa span
+// (x in [0, 16]) so the drawn b places the mode anywhere in the instance,
+// at every size.  Values are rescaled to [floor, ceil] inside the unit
+// interval so the Bernoulli oracle stays informative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/option_set.hpp"
+
+namespace mwr::datasets {
+
+/// Instance sizes used by the paper's synthetic sweeps: 2^6 .. 2^14.
+[[nodiscard]] std::vector<std::size_t> synthetic_sizes();
+
+/// iid-uniform option values.
+[[nodiscard]] core::OptionSet make_random(std::size_t size, std::uint64_t seed);
+
+/// Parameters of one unimodal draw (exposed so tests can pin the shape).
+struct UnimodalParams {
+  double a = 0.5;
+  double b = 0.5;
+  double c = 0.1;
+  double span = 16.0;    ///< abscissa length the indices are mapped onto.
+  /// When true, rescale values into [floor, ceil].  The paper uses the raw
+  /// curve (values only scaled down when the peak exceeds 1), which leaves
+  /// option values clustered in a narrow band — the source of the unimodal
+  /// family's difficulty relative to random in Tables II/IV.
+  bool rescale = true;
+  double floor = 0.05;   ///< smallest rescaled value.
+  double ceil = 0.95;    ///< largest rescaled value.
+};
+
+/// Draws a, b, c uniformly from the unit interval (b is kept away from zero
+/// so the mode is finite) and materializes the curve over `size` options.
+[[nodiscard]] core::OptionSet make_unimodal(std::size_t size,
+                                            std::uint64_t seed);
+
+/// Deterministic variant with explicit parameters.
+[[nodiscard]] core::OptionSet make_unimodal(std::size_t size,
+                                            const UnimodalParams& params,
+                                            std::uint64_t noise_seed,
+                                            double noise = 0.0);
+
+/// The raw curve value a * x * exp(-b * x) + c.
+[[nodiscard]] double unimodal_curve(double x, const UnimodalParams& params);
+
+}  // namespace mwr::datasets

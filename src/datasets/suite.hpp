@@ -1,0 +1,34 @@
+// The twenty-dataset evaluation suite of Tables II-IV, plus CSV
+// round-tripping so reproduced option sets can be archived and replotted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/option_set.hpp"
+
+namespace mwr::datasets {
+
+/// One evaluation dataset: the option set plus its table grouping.
+struct Dataset {
+  std::string family;  ///< "random", "unimodal", "C", or "Java".
+  core::OptionSet options;
+};
+
+/// Builds the paper's full suite — 5 random + 5 unimodal (sizes 2^6..2^14)
+/// + 5 C scenarios + 5 Java scenarios — deterministically from `seed`.
+/// Instances larger than `max_size` options are skipped (the reduced
+/// default configuration of the benches; --full passes 16384).
+[[nodiscard]] std::vector<Dataset> standard_suite(std::uint64_t seed,
+                                                  std::size_t max_size = 16384);
+
+/// Writes an option set as two-column CSV (option,value).
+void save_csv(const core::OptionSet& options, const std::string& path);
+
+/// Reads an option set back from save_csv output.  Throws
+/// std::runtime_error on I/O or parse failure.
+[[nodiscard]] core::OptionSet load_csv(const std::string& name,
+                                       const std::string& path);
+
+}  // namespace mwr::datasets

@@ -1,0 +1,37 @@
+#include "parallel/barrier.hpp"
+
+#include <stdexcept>
+
+namespace mwr::parallel {
+
+CountingBarrier::CountingBarrier(std::size_t parties) : parties_(parties) {
+  if (parties == 0) throw std::invalid_argument("barrier needs >= 1 party");
+}
+
+void CountingBarrier::arrive_and_wait() {
+  const auto arrival = std::chrono::steady_clock::now();
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+  total_wait_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - arrival)
+          .count();
+}
+
+std::uint64_t CountingBarrier::generations() const {
+  std::scoped_lock lock(mutex_);
+  return generation_;
+}
+
+double CountingBarrier::total_wait_seconds() const {
+  std::scoped_lock lock(mutex_);
+  return total_wait_seconds_;
+}
+
+}  // namespace mwr::parallel

@@ -1,0 +1,48 @@
+// Reusable synchronization barrier with cycle accounting.
+//
+// The Standard and Slate MWU algorithms end every iteration with a global
+// synchronization before the weight update (paper §II-A/B); the cost model
+// charges one "update cycle" per barrier generation.  std::barrier covers
+// the synchronization itself, but the experiments also need to *count*
+// generations and measure how long agents wait — CountingBarrier wraps a
+// central (mutex + condvar) barrier with those counters.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace mwr::parallel {
+
+/// A reusable N-party barrier that records the number of completed
+/// generations and the cumulative wait time across all parties.
+class CountingBarrier {
+ public:
+  explicit CountingBarrier(std::size_t parties);
+
+  /// Blocks until all parties arrive.  The last arriver flips the
+  /// generation and wakes the rest.
+  void arrive_and_wait();
+
+  /// Number of fully-completed generations (synchronization rounds).
+  [[nodiscard]] std::uint64_t generations() const;
+
+  /// Sum over all arrive_and_wait calls of the time spent blocked, in
+  /// seconds.  This is the "threads wait for the slowest one" cost that
+  /// motivates safe-mutation precomputation (paper §III-C).
+  [[nodiscard]] double total_wait_seconds() const;
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  double total_wait_seconds_ = 0.0;
+};
+
+}  // namespace mwr::parallel

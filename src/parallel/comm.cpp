@@ -1,0 +1,147 @@
+#include "parallel/comm.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace mwr::parallel {
+
+int Comm::size() const noexcept { return static_cast<int>(world_->size()); }
+
+void Comm::send(int destination, int tag, std::vector<double> payload) {
+  auto dst = static_cast<std::size_t>(destination);
+  if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
+  world_->tracker_.record(dst);
+  world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
+}
+
+void Comm::send_untracked(int destination, int tag,
+                          std::vector<double> payload) {
+  auto dst = static_cast<std::size_t>(destination);
+  if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
+  world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
+}
+
+Message Comm::recv(int source, int tag) {
+  return world_->mailboxes_[static_cast<std::size_t>(rank_)].recv(source, tag);
+}
+
+std::optional<Message> Comm::try_recv(int source, int tag) {
+  return world_->mailboxes_[static_cast<std::size_t>(rank_)].try_recv(source,
+                                                                      tag);
+}
+
+void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+
+void Comm::close_congestion_cycle() { world_->tracker_.end_cycle(); }
+
+std::vector<double> Comm::broadcast(int root, std::vector<double> payload) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kTagBroadcast, payload);
+    }
+    return payload;
+  }
+  return recv(root, kTagBroadcast).payload;
+}
+
+std::vector<std::vector<double>> Comm::gather(int root,
+                                              std::vector<double> payload) {
+  if (rank_ != root) {
+    send(root, kTagGather, std::move(payload));
+    return {};
+  }
+  std::vector<std::vector<double>> all(world_->size());
+  all[static_cast<std::size_t>(root)] = std::move(payload);
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    all[static_cast<std::size_t>(r)] = recv(r, kTagGather).payload;
+  }
+  return all;
+}
+
+std::vector<double> Comm::allreduce_sum(std::vector<double> payload) {
+  // Gather-to-0 then broadcast: O(n) congestion at the root, exactly the
+  // centralized communication pattern the paper charges Standard MWU for.
+  const std::size_t width = payload.size();
+  if (rank_ != 0) {
+    send(0, kTagAllreduce, std::move(payload));
+    auto reduced = recv(0, kTagAllreduce).payload;
+    if (reduced.size() != width)
+      throw std::invalid_argument("allreduce_sum: mismatched payload widths");
+    return reduced;
+  }
+  std::vector<double> sum = std::move(payload);
+  for (int r = 1; r < size(); ++r) {
+    const auto m = recv(r, kTagAllreduce);
+    if (m.payload.size() != sum.size())
+      throw std::invalid_argument("allreduce_sum: mismatched payload widths");
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += m.payload[i];
+  }
+  for (int r = 1; r < size(); ++r) send(r, kTagAllreduce, sum);
+  return sum;
+}
+
+std::vector<double> Comm::allreduce_sum_tree(std::vector<double> payload) {
+  // Binomial tree rooted at 0.  Reduce phase: at round r (mask = 1 << r), a
+  // rank whose bit r is set sends its partial sum to rank ^ mask and goes
+  // passive; otherwise it receives from rank + mask if that peer exists.
+  const auto n = static_cast<int>(world_->size());
+  std::vector<double> sum = std::move(payload);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (rank_ & mask) {
+      send(rank_ ^ mask, kTagTreeReduce, std::move(sum));
+      break;  // passive for the rest of the reduce phase
+    }
+    const int peer = rank_ | mask;
+    if (peer < n) {
+      const auto m = recv(peer, kTagTreeReduce);
+      if (m.payload.size() != sum.size())
+        throw std::invalid_argument(
+            "allreduce_sum_tree: mismatched payload widths");
+      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += m.payload[i];
+    }
+  }
+  // Broadcast phase, highest mask first: at round `mask` the holders are
+  // exactly the ranks divisible by 2*mask, and each forwards to rank+mask.
+  int top = 1;
+  while ((top << 1) < n) top <<= 1;
+  for (int mask = top; mask >= 1; mask >>= 1) {
+    const int period = 2 * mask;
+    if (rank_ % period == 0) {
+      const int peer = rank_ + mask;
+      if (peer < n) send(peer, kTagTreeBcast, sum);
+    } else if (rank_ % period == mask) {
+      sum = recv(rank_ - mask, kTagTreeBcast).payload;
+    }
+  }
+  return sum;
+}
+
+CommWorld::CommWorld(std::size_t size)
+    : mailboxes_(size), barrier_(size), tracker_(size) {
+  if (size == 0) throw std::invalid_argument("CommWorld needs >= 1 rank");
+}
+
+void CommWorld::run(const std::function<void(Comm&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(size());
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
+      Comm comm(*this, static_cast<int>(r));
+      try {
+        body(comm);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mwr::parallel

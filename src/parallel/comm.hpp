@@ -1,0 +1,123 @@
+// In-process message-passing communicator, modeled on the MPI subset the
+// paper's algorithms need.
+//
+// Substitution note (DESIGN.md §2): the paper's Distributed MWU targets
+// distributed-memory clusters.  This container has no MPI runtime and a
+// single core, so we provide an MPI-shaped substrate over std::thread:
+// point-to-point send/recv (non-overtaking per channel), barrier,
+// broadcast, gather, and allreduce(sum).  Every delivered message is
+// attributed to its destination in a CongestionTracker, which is the
+// quantity the paper's communication analysis is actually about.
+//
+// Usage follows the SPMD pattern of the LLNL MPI tutorial: construct a
+// CommWorld of `size` ranks, then run one function per rank, each receiving
+// its Comm handle:
+//
+//   CommWorld world(8);
+//   world.run([&](Comm& comm) { ... comm.rank() ... comm.barrier(); ... });
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/barrier.hpp"
+#include "parallel/congestion.hpp"
+#include "parallel/mailbox.hpp"
+
+namespace mwr::parallel {
+
+class CommWorld;
+
+/// Per-rank handle: the API each SPMD agent programs against.
+class Comm {
+ public:
+  Comm(CommWorld& world, int rank) noexcept : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Point-to-point send (asynchronous: enqueues into the destination's
+  /// mailbox and records congestion at the destination).
+  void send(int destination, int tag, std::vector<double> payload);
+
+  /// Like send(), but exempt from congestion accounting.  Experiments use
+  /// this for harness bookkeeping (replies, convergence snapshots) so the
+  /// tracker measures only the algorithm's own communication pattern.
+  void send_untracked(int destination, int tag, std::vector<double> payload);
+
+  /// Blocking receive with optional source/tag filters.
+  [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<Message> try_recv(int source = kAnySource,
+                                                int tag = kAnyTag);
+
+  /// Global synchronization (pure barrier; no congestion bookkeeping).
+  void barrier();
+
+  /// Closes the current congestion cycle: captures the heaviest-hit node's
+  /// message count into the tracker statistics and resets the counters.
+  /// Call from exactly one rank, bracketed by barriers so no send() races
+  /// the capture:  barrier(); if (rank()==0) close_congestion_cycle();
+  /// barrier();
+  void close_congestion_cycle();
+
+  /// Root's payload is distributed to every rank; all ranks return it.
+  [[nodiscard]] std::vector<double> broadcast(int root,
+                                              std::vector<double> payload);
+
+  /// Every rank contributes a payload; root returns all of them indexed by
+  /// rank, non-roots return an empty vector.
+  [[nodiscard]] std::vector<std::vector<double>> gather(
+      int root, std::vector<double> payload);
+
+  /// Elementwise sum across ranks; every rank returns the reduced vector.
+  /// All contributions must have identical length.  Centralized (gather to
+  /// rank 0 + broadcast): the root absorbs n-1 messages per call — the
+  /// O(n) congestion Table I charges Standard MWU for.
+  [[nodiscard]] std::vector<double> allreduce_sum(std::vector<double> payload);
+
+  /// Same reduction over a binomial tree: reduce up, broadcast down.  Any
+  /// node receives at most ceil(log2 n) messages per call, trading the
+  /// root hotspot for 2*ceil(log2 n) sequential rounds — the classic
+  /// latency/congestion trade-off, measurable against allreduce_sum via
+  /// the congestion tracker.
+  [[nodiscard]] std::vector<double> allreduce_sum_tree(
+      std::vector<double> payload);
+
+ private:
+  CommWorld* world_;
+  int rank_;
+};
+
+/// Owns the mailboxes, barrier, and congestion tracker shared by all ranks.
+class CommWorld {
+ public:
+  explicit CommWorld(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return mailboxes_.size(); }
+
+  /// Spawns one thread per rank running `body(comm)`, and joins them all.
+  /// Exceptions from any rank propagate to the caller (first one wins).
+  void run(const std::function<void(Comm&)>& body);
+
+  [[nodiscard]] const CongestionTracker& congestion() const noexcept {
+    return tracker_;
+  }
+
+ private:
+  friend class Comm;
+  std::vector<Mailbox> mailboxes_;
+  CountingBarrier barrier_;
+  CongestionTracker tracker_;
+};
+
+// Tags reserved by the collectives; user tags should stay below 1 << 20.
+inline constexpr int kTagBroadcast = 1 << 20;
+inline constexpr int kTagGather = (1 << 20) + 1;
+inline constexpr int kTagAllreduce = (1 << 20) + 2;
+inline constexpr int kTagTreeReduce = (1 << 20) + 3;
+inline constexpr int kTagTreeBcast = (1 << 20) + 4;
+
+}  // namespace mwr::parallel

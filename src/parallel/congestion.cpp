@@ -1,0 +1,52 @@
+#include "parallel/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mwr::parallel {
+
+CongestionTracker::CongestionTracker(std::size_t nodes) {
+  if (nodes == 0) throw std::invalid_argument("tracker needs >= 1 node");
+  counts_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    counts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void CongestionTracker::record(std::size_t destination) noexcept {
+  counts_[destination]->fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CongestionTracker::end_cycle() {
+  std::uint64_t max_count = 0;
+  for (auto& c : counts_) {
+    max_count = std::max(max_count, c->exchange(0, std::memory_order_relaxed));
+  }
+  max_per_cycle_.add(static_cast<double>(max_count));
+}
+
+std::uint64_t CongestionTracker::current_max() const noexcept {
+  std::uint64_t max_count = 0;
+  for (const auto& c : counts_) {
+    max_count = std::max(max_count, c->load(std::memory_order_relaxed));
+  }
+  return max_count;
+}
+
+std::uint64_t CongestionTracker::current_count(std::size_t node) const {
+  return counts_.at(node)->load(std::memory_order_relaxed);
+}
+
+std::uint64_t CongestionTracker::total_messages() const noexcept {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double balls_into_bins_bound(std::size_t n) noexcept {
+  if (n < 3) return static_cast<double>(n);
+  const double ln_n = std::log(static_cast<double>(n));
+  return ln_n / std::log(ln_n);
+}
+
+}  // namespace mwr::parallel

@@ -1,0 +1,66 @@
+// Communication-congestion accounting.
+//
+// The paper's communication-cost column in Table I is *congestion*: the
+// number of messages the heaviest-hit node receives in one update cycle
+// (§II-C, "Communication").  The Distributed variant's O(ln n / ln ln n)
+// bound is the classic balls-into-bins maximum.  This tracker records
+// per-destination message counts per cycle so the bench for Table I can
+// validate that bound empirically against the substrate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mwr::parallel {
+
+/// Tracks per-destination message counts within "cycles" (update rounds).
+/// record() is wait-free (relaxed atomic increments); end_cycle() is called
+/// by exactly one coordinating thread between rounds.
+class CongestionTracker {
+ public:
+  explicit CongestionTracker(std::size_t nodes);
+
+  /// Counts one message delivered to `destination` in the current cycle.
+  void record(std::size_t destination) noexcept;
+
+  /// Closes the current cycle: captures the heaviest-hit node's count into
+  /// the running statistics and zeroes the counters.  Must not race with
+  /// record() — callers close cycles at barrier points.
+  void end_cycle();
+
+  /// Heaviest-hit node count in the *current* (open) cycle.
+  [[nodiscard]] std::uint64_t current_max() const noexcept;
+
+  /// Messages delivered to `node` in the current cycle.
+  [[nodiscard]] std::uint64_t current_count(std::size_t node) const;
+
+  /// Statistics over closed cycles of the per-cycle maximum congestion.
+  [[nodiscard]] const util::RunningStats& max_per_cycle() const noexcept {
+    return max_per_cycle_;
+  }
+
+  /// Total messages across all nodes and cycles (including the open one).
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return counts_.size(); }
+
+ private:
+  // unique_ptr<atomic[]> rather than vector<atomic> (atomics are not
+  // movable); sized once at construction.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> counts_;
+  util::RunningStats max_per_cycle_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+/// The theoretical high-probability bound on balls-into-bins maximum load:
+/// ln(n) / ln(ln(n)) for n balls into n bins (paper §II-C cites [16]).
+/// Returns the n=2 limit guard value for n < 3 where ln ln n degenerates.
+[[nodiscard]] double balls_into_bins_bound(std::size_t n) noexcept;
+
+}  // namespace mwr::parallel

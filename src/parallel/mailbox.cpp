@@ -1,0 +1,44 @@
+#include "parallel/mailbox.hpp"
+
+namespace mwr::parallel {
+
+void Mailbox::push(Message message) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::take_locked(int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const bool source_ok = source == kAnySource || it->source == source;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (source_ok && tag_ok) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::recv(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto m = take_locked(source, tag)) return std::move(*m);
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_recv(int source, int tag) {
+  std::scoped_lock lock(mutex_);
+  return take_locked(source, tag);
+}
+
+std::size_t Mailbox::pending() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace mwr::parallel

@@ -1,0 +1,58 @@
+// Multi-producer single-consumer mailbox: the per-rank receive queue of the
+// in-process communicator.
+//
+// Payloads are vectors of doubles plus a small integer tag, which covers
+// everything the MWU algorithms exchange (weights, results, adopted
+// options).  Blocking receive supports tag filtering; source filtering is
+// expressed by encoding the source rank in the message envelope so the
+// congestion tracker can attribute load.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace mwr::parallel {
+
+/// Any-source / any-tag wildcard for Mailbox::recv.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// One message envelope: who sent it, what kind it is, and its payload.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+/// Thread-safe FIFO mailbox.  Multiple senders may push concurrently; the
+/// owning rank consumes.  recv() matches the *oldest* message satisfying the
+/// (source, tag) filter, which mirrors MPI's non-overtaking guarantee per
+/// (source, tag) channel.
+class Mailbox {
+ public:
+  /// Enqueues a message and wakes the receiver.
+  void push(Message message);
+
+  /// Blocks until a matching message arrives, then removes and returns it.
+  [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe-and-take; std::nullopt when nothing matches.
+  [[nodiscard]] std::optional<Message> try_recv(int source = kAnySource,
+                                                int tag = kAnyTag);
+
+  /// Messages currently queued (racy by nature; for diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] std::optional<Message> take_locked(int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace mwr::parallel

@@ -1,0 +1,56 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mwr::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, size());
+  const std::size_t per_chunk = (count + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(count, begin + per_chunk);
+    if (begin >= end) break;
+    futures.push_back(submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first failure
+}
+
+}  // namespace mwr::parallel

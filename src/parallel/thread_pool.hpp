@@ -1,0 +1,77 @@
+// Fixed-size worker pool used by the precompute phase and the parallel MWU
+// drivers.
+//
+// Design notes (per the C++ Core Guidelines concurrency rules):
+//  - the pool owns its threads and joins them in the destructor (RAII);
+//  - tasks are type-erased through std::packaged_task so submit() returns a
+//    std::future and exceptions thrown inside a task propagate to the
+//    caller, never escaping into the worker loop;
+//  - parallel_for_index partitions an index range into contiguous blocks,
+//    one per worker, which is how the embarrassingly-parallel pool
+//    precomputation of MWRepair is expressed (each worker gets a split RNG
+//    stream, not a shared one).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mwr::parallel {
+
+/// A fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future carries its result or
+  /// exception.  Safe to call from any thread, including from inside tasks
+  /// (the pool never blocks enqueue on execution).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> result = task.get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.emplace(
+          [t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
+            (*t)();
+          });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for every i in [0, count), blocked into `size()` contiguous
+  /// chunks, and waits for completion.  fn must be safe to invoke
+  /// concurrently for distinct i.  Exceptions from any chunk are rethrown
+  /// (the first one encountered).
+  void parallel_for_index(std::size_t count,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mwr::parallel

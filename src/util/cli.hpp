@@ -1,0 +1,69 @@
+// Uniform command-line handling for the bench and example binaries.
+//
+// Every bench target supports the same knobs (see DESIGN.md §4):
+//   --full          paper-scale configuration (100 seeds, sizes to 16384)
+//   --seeds N       number of replications per cell
+//   --max-size N    cap on dataset instance size
+//   --csv FILE      also write the reproduced table as CSV
+//   --seed N        master seed
+//   --threads N     worker threads for the parallel substrates
+// plus per-binary extras registered through `add_*` before parse().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mwr::util {
+
+/// Minimal declarative flag parser.  Unknown flags are an error (a typo'd
+/// flag silently falling back to defaults would corrupt an experiment).
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Registers an integer flag with a default.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  /// Registers a floating-point flag with a default.
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  /// Registers a string flag with a default.
+  void add_string(const std::string& name, std::string default_value,
+                  const std::string& help);
+  /// Registers a boolean switch (present => true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  On "--help" prints usage and returns false (caller should
+  /// exit 0).  Throws std::invalid_argument on malformed input.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+  };
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+/// Registers the standard bench flags listed above.
+void add_standard_bench_flags(Cli& cli);
+
+}  // namespace mwr::util

@@ -1,0 +1,49 @@
+// Minimal leveled logging.
+//
+// The library itself logs nothing at Info by default — experiments are
+// reported through Table — but the parallel substrates emit Debug traces
+// (congestion snapshots, pool progress) that are useful when diagnosing a
+// run.  Logging is process-global and thread-safe: a single mutex serializes
+// writes, which is acceptable because Debug output is off in benchmarks.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mwr::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one line ("LEVEL component: message") to stderr if enabled.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style convenience: MWR_LOG(kDebug, "pool") << "filled " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, buffer_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace mwr::util
+
+#define MWR_LOG(level, component) \
+  ::mwr::util::LogStream(::mwr::util::LogLevel::level, component)

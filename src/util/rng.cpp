@@ -1,0 +1,43 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace mwr::util {
+
+std::size_t RngStream::weighted_choice(
+    const std::vector<double>& weights) noexcept {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  return weighted_choice(weights, total);
+}
+
+std::size_t RngStream::weighted_choice(const std::vector<double>& weights,
+                                       double total) noexcept {
+  if (total <= 0.0) return weights.size();
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point underrun: the residual mass belongs to the last
+  // positive-weight entry.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size();
+}
+
+std::vector<std::size_t> RngStream::sample_without_replacement(
+    std::size_t population, std::size_t count) noexcept {
+  std::vector<std::size_t> pool(population);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher–Yates: only the first `count` positions are shuffled.
+  for (std::size_t i = 0; i < count && i < population; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(uniform_index(population - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace mwr::util

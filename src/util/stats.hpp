@@ -1,0 +1,77 @@
+// Streaming and batch statistics used throughout the evaluation harness.
+//
+// RunningStats implements Welford's online algorithm so per-seed experiment
+// results can be folded into mean/stddev without retaining the samples —
+// Tables II and III report exactly these two moments over 100 replications.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mwr::util {
+
+/// Numerically-stable streaming mean/variance (Welford).  Also tracks
+/// min/max.  Merging two accumulators (parallel reduction) is supported via
+/// `merge`, using the Chan et al. pairwise update.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Folds another accumulator into this one.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile (linear interpolation between closest ranks).
+/// q in [0, 1].  The input span is copied; the original order is preserved.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Arithmetic mean of a span (0 for empty input).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation of a span (0 for fewer than two samples).
+[[nodiscard]] double stddev_of(std::span<const double> xs) noexcept;
+
+/// Fixed-width histogram over [lo, hi); samples outside the range clamp to
+/// the edge bins.  Used by the congestion validation and Fig 4 benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Center of the given bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Fraction of mass in the given bin (0 when empty).
+  [[nodiscard]] double bin_fraction(std::size_t bin) const;
+  /// Renders a terminal bar chart, `width` characters at the widest bar.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mwr::util

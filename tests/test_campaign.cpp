@@ -1,0 +1,161 @@
+// Unit + integration tests for apr/campaign: multi-bug repair with pool
+// reuse and incremental suite growth (§III-C amortization).
+#include <gtest/gtest.h>
+
+#include "apr/campaign.hpp"
+#include "datasets/scenario.hpp"
+
+namespace mwr::apr {
+namespace {
+
+datasets::ScenarioSpec toy_spec() {
+  datasets::ScenarioSpec spec;
+  spec.name = "campaign-toy";
+  spec.statements = 2000;
+  spec.tests = 12;
+  spec.coverage = 0.7;
+  spec.safe_rate = 0.55;
+  spec.repair_rate = 0.02;
+  spec.optimum = 30;
+  spec.min_repair_edits = 1;
+  spec.seed = 71;
+  return spec;
+}
+
+CampaignConfig fast_config() {
+  CampaignConfig config;
+  config.bugs = 4;
+  config.pool.target_size = 1500;
+  config.pool.seed = 1;
+  config.repair.agents = 32;
+  config.repair.max_iterations = 200;
+  config.repair.seed = 2;
+  return config;
+}
+
+TEST(Campaign, RepairsASequenceOfBugsFromOnePool) {
+  const auto outcome = run_campaign(toy_spec(), fast_config());
+  ASSERT_EQ(outcome.bugs.size(), 4u);
+  EXPECT_EQ(outcome.repaired(), 4u);
+  EXPECT_GT(outcome.precompute_runs, 0u);
+  EXPECT_EQ(outcome.initial_pool_size, 1500u);
+}
+
+TEST(Campaign, FirstBugPaysNoMaintenance) {
+  const auto outcome = run_campaign(toy_spec(), fast_config());
+  EXPECT_EQ(outcome.bugs.front().maintenance_runs, 0u);
+  EXPECT_EQ(outcome.bugs.front().pool_dropped, 0u);
+  EXPECT_EQ(outcome.bugs.front().pool_size, 1500u);
+}
+
+TEST(Campaign, SuiteGrowthDropsPoolMembersIncrementally) {
+  const auto outcome = run_campaign(toy_spec(), fast_config());
+  // After the first repaired bug the suite has grown, so bug 1 pays a
+  // revalidation pass and typically loses a few members.
+  ASSERT_GE(outcome.bugs.size(), 2u);
+  EXPECT_GT(outcome.bugs[1].maintenance_runs, 0u);
+  std::size_t total_dropped = 0;
+  for (const auto& bug : outcome.bugs) total_dropped += bug.pool_dropped;
+  EXPECT_GT(total_dropped, 0u);
+  // Pool sizes are non-increasing across the campaign.
+  for (std::size_t i = 1; i < outcome.bugs.size(); ++i) {
+    EXPECT_LE(outcome.bugs[i].pool_size, outcome.bugs[i - 1].pool_size);
+  }
+}
+
+TEST(Campaign, GrowSuiteDisabledSkipsMaintenance) {
+  auto config = fast_config();
+  config.grow_suite = false;
+  const auto outcome = run_campaign(toy_spec(), config);
+  for (const auto& bug : outcome.bugs) {
+    EXPECT_EQ(bug.maintenance_runs, 0u) << "bug " << bug.bug_id;
+    EXPECT_EQ(bug.pool_dropped, 0u);
+  }
+}
+
+TEST(Campaign, AmortizedCostBeatsRebuildingPerBug) {
+  const auto outcome = run_campaign(toy_spec(), fast_config());
+  const double rebuild_per_bug =
+      static_cast<double>(outcome.precompute_runs) + outcome.mean_bug_cost();
+  EXPECT_LT(outcome.amortized_bug_cost(), rebuild_per_bug);
+}
+
+TEST(Campaign, CostAccessorsAreConsistent) {
+  const auto outcome = run_campaign(toy_spec(), fast_config());
+  const double spread = static_cast<double>(outcome.precompute_runs) /
+                        static_cast<double>(outcome.bugs.size());
+  EXPECT_NEAR(outcome.amortized_bug_cost(),
+              outcome.mean_bug_cost() + spread, 1e-9);
+}
+
+TEST(Campaign, BugsDifferInTheirRelevanceSets) {
+  // Each bug_id re-rolls the repair-relevance draw: a patch that repairs
+  // bug 0 does not repair bug 1 (with overwhelming probability), which is
+  // what makes the campaign a sequence of distinct searches.
+  auto spec0 = toy_spec();
+  auto spec1 = toy_spec();
+  spec1.bug_id = 1;
+  const ProgramModel program0(spec0);
+  const ProgramModel program1(spec1);
+  const TestOracle oracle0(program0);
+  const TestOracle oracle1(program1);
+  PoolConfig pool_config;
+  pool_config.target_size = 1500;
+  pool_config.seed = 1;
+  const auto pool = MutationPool::precompute(oracle0, pool_config);
+  MwRepairConfig repair_config;
+  repair_config.agents = 32;
+  repair_config.max_iterations = 200;
+  repair_config.seed = 2;
+  const MwRepair repair(repair_config);
+  const auto outcome = repair.run(oracle0, pool);
+  ASSERT_TRUE(outcome.repaired);
+  EXPECT_TRUE(oracle0.evaluate(outcome.patch).is_repair());
+  EXPECT_FALSE(oracle1.evaluate(outcome.patch).is_repair());
+}
+
+TEST(Campaign, DeterministicPerSeeds) {
+  const auto a = run_campaign(toy_spec(), fast_config());
+  const auto b = run_campaign(toy_spec(), fast_config());
+  ASSERT_EQ(a.bugs.size(), b.bugs.size());
+  for (std::size_t i = 0; i < a.bugs.size(); ++i) {
+    EXPECT_EQ(a.bugs[i].repaired, b.bugs[i].repaired);
+    EXPECT_EQ(a.bugs[i].online_probes, b.bugs[i].online_probes);
+    EXPECT_EQ(a.bugs[i].pool_dropped, b.bugs[i].pool_dropped);
+  }
+}
+
+TEST(Campaign, SuiteSizeIsCappedAtTheOracleLimit) {
+  auto spec = toy_spec();
+  spec.tests = 62;  // two repairs away from the 64-test model cap
+  auto config = fast_config();
+  config.bugs = 6;
+  const auto outcome = run_campaign(spec, config);
+  // No bug may crash the oracle; the campaign must complete.
+  EXPECT_EQ(outcome.bugs.size(), 6u);
+}
+
+TEST(BugId, OnlyRepairRelevanceDependsOnIt) {
+  auto spec_a = toy_spec();
+  auto spec_b = toy_spec();
+  spec_b.bug_id = 3;
+  const ProgramModel program_a(spec_a);
+  const ProgramModel program_b(spec_b);
+  const TestOracle oracle_a(program_a);
+  const TestOracle oracle_b(program_b);
+  // Same coverage and safety; different relevance sets.
+  EXPECT_EQ(program_a.covered_statements(), program_b.covered_statements());
+  util::RngStream rng(5);
+  bool relevance_differs = false;
+  for (int i = 0; i < 100000; ++i) {
+    const Mutation m = random_mutation(program_a, rng);
+    EXPECT_EQ(oracle_a.is_safe(m), oracle_b.is_safe(m));
+    if (oracle_a.is_repair_relevant(m) != oracle_b.is_repair_relevant(m)) {
+      relevance_differs = true;
+    }
+  }
+  EXPECT_TRUE(relevance_differs);
+}
+
+}  // namespace
+}  // namespace mwr::apr

@@ -1,0 +1,134 @@
+// Unit tests for util/cli: declarative flags, strict parsing, and the
+// standard bench-flag set.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/cli.hpp"
+
+namespace mwr::util {
+namespace {
+
+// argv helper: parses a Cli against a list of string literals.
+template <std::size_t N>
+bool parse(Cli& cli, const std::array<const char*, N>& args) {
+  std::array<char*, N> argv;
+  for (std::size_t i = 0; i < N; ++i) argv[i] = const_cast<char*>(args[i]);
+  return cli.parse(static_cast<int>(N), argv.data());
+}
+
+TEST(Cli, DefaultsSurviveEmptyParse) {
+  Cli cli("test");
+  cli.add_int("n", 42, "an int");
+  cli.add_double("x", 2.5, "a double");
+  cli.add_string("s", "hello", "a string");
+  cli.add_flag("f", "a switch");
+  EXPECT_TRUE(parse(cli, std::array{"prog"}));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 2.5);
+  EXPECT_EQ(cli.get_string("s"), "hello");
+  EXPECT_FALSE(cli.get_flag("f"));
+}
+
+TEST(Cli, ParsesSeparateValueForm) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  EXPECT_TRUE(parse(cli, std::array{"prog", "--n", "17"}));
+  EXPECT_EQ(cli.get_int("n"), 17);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli("test");
+  cli.add_double("x", 0.0, "");
+  cli.add_string("s", "", "");
+  EXPECT_TRUE(parse(cli, std::array{"prog", "--x=1.5", "--s=abc"}));
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 1.5);
+  EXPECT_EQ(cli.get_string("s"), "abc");
+}
+
+TEST(Cli, ParsesSwitch) {
+  Cli cli("test");
+  cli.add_flag("full", "");
+  EXPECT_TRUE(parse(cli, std::array{"prog", "--full"}));
+  EXPECT_TRUE(cli.get_flag("full"));
+}
+
+TEST(Cli, NegativeIntegers) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  EXPECT_TRUE(parse(cli, std::array{"prog", "--n", "-5"}));
+  EXPECT_EQ(cli.get_int("n"), -5);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("test");
+  EXPECT_THROW(parse(cli, std::array{"prog", "--typo"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  EXPECT_THROW(parse(cli, std::array{"prog", "--n"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  EXPECT_THROW(parse(cli, std::array{"prog", "--n", "abc"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, RejectsValueOnSwitch) {
+  Cli cli("test");
+  cli.add_flag("f", "");
+  EXPECT_THROW(parse(cli, std::array{"prog", "--f=1"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  Cli cli("test");
+  EXPECT_THROW(parse(cli, std::array{"prog", "positional"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(parse(cli, std::array{"prog", "--help"}));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--n"), std::string::npos);
+}
+
+TEST(Cli, TypedAccessorsEnforceKinds) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  EXPECT_THROW((void)cli.get_double("n"), std::logic_error);
+  EXPECT_THROW((void)cli.get_int("never-registered"), std::logic_error);
+}
+
+TEST(Cli, UsageListsAllFlagsWithDefaults) {
+  Cli cli("my program");
+  cli.add_int("count", 9, "how many");
+  cli.add_flag("quick", "go fast");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my program"), std::string::npos);
+  EXPECT_NE(usage.find("--count N (default 9)"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("--quick"), std::string::npos);
+}
+
+TEST(Cli, StandardBenchFlagsArePresent) {
+  Cli cli("bench");
+  add_standard_bench_flags(cli);
+  EXPECT_TRUE(parse(cli, std::array{"prog", "--full", "--seeds", "3",
+                                    "--max-size", "64", "--csv", "out.csv",
+                                    "--seed", "1", "--threads", "2"}));
+  EXPECT_TRUE(cli.get_flag("full"));
+  EXPECT_EQ(cli.get_int("seeds"), 3);
+  EXPECT_EQ(cli.get_int("max-size"), 64);
+  EXPECT_EQ(cli.get_string("csv"), "out.csv");
+}
+
+}  // namespace
+}  // namespace mwr::util

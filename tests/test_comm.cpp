@@ -1,0 +1,174 @@
+// Unit tests for parallel/comm: SPMD execution, point-to-point messaging,
+// collectives, congestion attribution, and error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/comm.hpp"
+
+namespace mwr::parallel {
+namespace {
+
+TEST(CommWorld, RejectsZeroRanks) {
+  EXPECT_THROW(CommWorld(0), std::invalid_argument);
+}
+
+TEST(CommWorld, RunsOneBodyPerRank) {
+  CommWorld world(6);
+  std::atomic<int> mask{0};
+  world.run([&](Comm& comm) { mask.fetch_or(1 << comm.rank()); });
+  EXPECT_EQ(mask.load(), 0b111111);
+}
+
+TEST(CommWorld, RankAndSizeAreConsistent) {
+  CommWorld world(4);
+  world.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 4);
+  });
+}
+
+TEST(Comm, PointToPointRoundTrip) {
+  CommWorld world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, {1.0, 2.0, 3.0});
+      const Message reply = comm.recv(1, 6);
+      EXPECT_DOUBLE_EQ(reply.payload.at(0), 6.0);
+    } else {
+      const Message m = comm.recv(0, 5);
+      double sum = std::accumulate(m.payload.begin(), m.payload.end(), 0.0);
+      comm.send(0, 6, {sum});
+    }
+  });
+}
+
+TEST(Comm, SendToBadDestinationThrows) {
+  CommWorld world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    if (comm.rank() == 0) comm.send(9, 0, {});
+  }),
+               std::out_of_range);
+}
+
+TEST(Comm, BodyExceptionPropagatesToCaller) {
+  CommWorld world(3);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, BroadcastDeliversRootPayloadEverywhere) {
+  CommWorld world(5);
+  world.run([&](Comm& comm) {
+    std::vector<double> payload;
+    if (comm.rank() == 2) payload = {4.0, 5.0};
+    const auto result = comm.broadcast(2, std::move(payload));
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_DOUBLE_EQ(result[0], 4.0);
+    EXPECT_DOUBLE_EQ(result[1], 5.0);
+  });
+}
+
+TEST(Comm, GatherCollectsByRank) {
+  CommWorld world(4);
+  world.run([&](Comm& comm) {
+    const auto all =
+        comm.gather(0, {static_cast<double>(comm.rank() * 10)});
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)].at(0), r * 10.0);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, AllreduceSumsElementwiseOnEveryRank) {
+  CommWorld world(4);
+  world.run([&](Comm& comm) {
+    const double r = static_cast<double>(comm.rank());
+    const auto sum = comm.allreduce_sum({r, 1.0});
+    ASSERT_EQ(sum.size(), 2u);
+    EXPECT_DOUBLE_EQ(sum[0], 0.0 + 1.0 + 2.0 + 3.0);
+    EXPECT_DOUBLE_EQ(sum[1], 4.0);
+  });
+}
+
+TEST(Comm, BarrierSynchronizesPhases) {
+  CommWorld world(4);
+  std::atomic<int> phase1{0};
+  world.run([&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase1.load(), 4);
+    comm.barrier();
+  });
+}
+
+TEST(Comm, CongestionAttributesToDestination) {
+  CommWorld world(3);
+  world.run([&](Comm& comm) {
+    if (comm.rank() != 0) comm.send(0, 1, {});
+    comm.barrier();
+    if (comm.rank() == 0) {
+      while (comm.try_recv()) {
+      }
+      comm.close_congestion_cycle();
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(world.congestion().total_messages(), 2u);
+  EXPECT_DOUBLE_EQ(world.congestion().max_per_cycle().mean(), 2.0);
+}
+
+TEST(Comm, UntrackedSendSkipsCongestion) {
+  CommWorld world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_untracked(1, 1, {9.0});
+    } else {
+      EXPECT_DOUBLE_EQ(comm.recv(0, 1).payload.at(0), 9.0);
+    }
+  });
+  EXPECT_EQ(world.congestion().total_messages(), 0u);
+}
+
+TEST(Comm, TryRecvSeesOnlyDeliveredMessages) {
+  CommWorld world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 3, {1.0});
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      const auto m = comm.try_recv(0, 3);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_FALSE(comm.try_recv(0, 3).has_value());
+    }
+  });
+}
+
+// Stress sweep: collectives keep working across world sizes.
+class CommSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CommSweep, AllreduceIdentityOverManyRounds) {
+  CommWorld world(GetParam());
+  world.run([&](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      const auto sum = comm.allreduce_sum({1.0});
+      EXPECT_DOUBLE_EQ(sum.at(0), static_cast<double>(comm.size()));
+      comm.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CommSweep, ::testing::Values(1, 2, 5, 16));
+
+}  // namespace
+}  // namespace mwr::parallel

@@ -1,0 +1,82 @@
+// Unit tests for baselines/comparison: the §IV-G harness structure and
+// cost accounting.
+#include <gtest/gtest.h>
+
+#include "baselines/comparison.hpp"
+#include "datasets/scenario.hpp"
+
+namespace mwr::baselines {
+namespace {
+
+ComparisonConfig fast_config() {
+  ComparisonConfig config;
+  config.budget = 2000;
+  config.pool_target = 400;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Comparison, RunsAllFiveToolsOnAScenario) {
+  const auto spec = datasets::scenario_by_name("units");
+  const auto comparison = compare_on_scenario(spec, fast_config());
+  EXPECT_EQ(comparison.scenario, "units");
+  EXPECT_EQ(comparison.language, "C");
+  ASSERT_EQ(comparison.tools.size(), 5u);
+  EXPECT_EQ(comparison.tools[0].tool, "MWRepair");
+  EXPECT_EQ(comparison.tools[1].tool, "GenProg");
+  EXPECT_EQ(comparison.tools[2].tool, "RSRepair");
+  EXPECT_EQ(comparison.tools[3].tool, "AE");
+  EXPECT_EQ(comparison.tools[4].tool, "IslandGA");
+  EXPECT_GT(comparison.precompute_runs, 0u);
+}
+
+TEST(Comparison, JavaScenariosUseJGenProg) {
+  const auto spec = datasets::scenario_by_name("Math8");
+  const auto comparison = compare_on_scenario(spec, fast_config());
+  EXPECT_EQ(comparison.tools[1].tool, "jGenProg");
+}
+
+TEST(Comparison, MwRepairLatencyReflectsParallelWidth) {
+  const auto spec = datasets::scenario_by_name("units");
+  const auto comparison = compare_on_scenario(spec, fast_config());
+  const auto& mwrepair = comparison.tools[0];
+  // Latency counts cycles plus parallelized precompute — always far below
+  // the serial suite-run count of an equivalent serial tool.
+  EXPECT_LT(mwrepair.latency_units,
+            static_cast<double>(mwrepair.suite_runs +
+                                comparison.precompute_runs));
+}
+
+TEST(Comparison, TallyAggregatesAcrossScenarios) {
+  const auto config = fast_config();
+  std::vector<ScenarioComparison> comparisons;
+  comparisons.push_back(
+      compare_on_scenario(datasets::scenario_by_name("units"), config));
+  comparisons.push_back(
+      compare_on_scenario(datasets::scenario_by_name("Math8"), config));
+  const auto tallies = tally(comparisons);
+  // MWRepair, GenProg, jGenProg, RSRepair, AE, IslandGA.
+  EXPECT_EQ(tallies.size(), 6u);
+  for (const auto& t : tallies) {
+    if (t.tool == "GenProg" || t.tool == "jGenProg") {
+      EXPECT_EQ(t.attempted, 1u) << t.tool;  // GenProg vs jGenProg split
+    } else {
+      EXPECT_EQ(t.attempted, 2u) << t.tool;
+    }
+    EXPECT_LE(t.repaired, t.attempted);
+  }
+}
+
+TEST(Comparison, DeterministicPerSeed) {
+  const auto spec = datasets::scenario_by_name("Math8");
+  const auto a = compare_on_scenario(spec, fast_config());
+  const auto b = compare_on_scenario(spec, fast_config());
+  ASSERT_EQ(a.tools.size(), b.tools.size());
+  for (std::size_t i = 0; i < a.tools.size(); ++i) {
+    EXPECT_EQ(a.tools[i].repaired, b.tools[i].repaired);
+    EXPECT_EQ(a.tools[i].suite_runs, b.tools[i].suite_runs);
+  }
+}
+
+}  // namespace
+}  // namespace mwr::baselines

@@ -1,0 +1,111 @@
+// Unit tests for parallel/congestion: cycle accounting and the
+// balls-into-bins bound, including the statistical property behind the
+// paper's Distributed communication claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "parallel/congestion.hpp"
+#include "util/rng.hpp"
+
+namespace mwr::parallel {
+namespace {
+
+TEST(CongestionTracker, RejectsZeroNodes) {
+  EXPECT_THROW(CongestionTracker(0), std::invalid_argument);
+}
+
+TEST(CongestionTracker, CountsPerDestination) {
+  CongestionTracker tracker(4);
+  tracker.record(0);
+  tracker.record(2);
+  tracker.record(2);
+  EXPECT_EQ(tracker.current_count(0), 1u);
+  EXPECT_EQ(tracker.current_count(1), 0u);
+  EXPECT_EQ(tracker.current_count(2), 2u);
+  EXPECT_EQ(tracker.current_max(), 2u);
+  EXPECT_EQ(tracker.total_messages(), 3u);
+}
+
+TEST(CongestionTracker, EndCycleCapturesMaxAndResets) {
+  CongestionTracker tracker(3);
+  tracker.record(1);
+  tracker.record(1);
+  tracker.record(0);
+  tracker.end_cycle();
+  EXPECT_EQ(tracker.current_max(), 0u);
+  EXPECT_EQ(tracker.max_per_cycle().count(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.max_per_cycle().mean(), 2.0);
+  tracker.record(2);
+  tracker.end_cycle();
+  EXPECT_EQ(tracker.max_per_cycle().count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.max_per_cycle().mean(), 1.5);
+  // Totals accumulate across cycles.
+  EXPECT_EQ(tracker.total_messages(), 4u);
+}
+
+TEST(CongestionTracker, EmptyCycleRecordsZero) {
+  CongestionTracker tracker(2);
+  tracker.end_cycle();
+  EXPECT_DOUBLE_EQ(tracker.max_per_cycle().mean(), 0.0);
+}
+
+TEST(CongestionTracker, ConcurrentRecordsAreAllCounted) {
+  CongestionTracker tracker(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker, t] {
+      for (int i = 0; i < 1000; ++i) {
+        tracker.record(static_cast<std::size_t>((t + i) % 8));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracker.total_messages(), 4000u);
+  std::uint64_t sum = 0;
+  for (std::size_t n = 0; n < 8; ++n) sum += tracker.current_count(n);
+  EXPECT_EQ(sum, 4000u);
+}
+
+TEST(BallsIntoBins, BoundGrowsSlowly) {
+  // ln n / ln ln n: slowly growing, far below n.
+  EXPECT_LT(balls_into_bins_bound(64), 4.0);
+  EXPECT_LT(balls_into_bins_bound(1024), 6.0);
+  EXPECT_LT(balls_into_bins_bound(1u << 20), 8.0);
+  EXPECT_GT(balls_into_bins_bound(1u << 20), balls_into_bins_bound(64));
+}
+
+TEST(BallsIntoBins, SmallNGuard) {
+  EXPECT_DOUBLE_EQ(balls_into_bins_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(balls_into_bins_bound(2), 2.0);
+}
+
+// Statistical property: throwing n balls into n bins uniformly at random,
+// the maximum load stays within a small constant of ln n / ln ln n — the
+// paper's §II-C claim for Distributed's observation pattern.
+class BallsIntoBinsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BallsIntoBinsSweep, EmpiricalMaxNearTheBound) {
+  const std::size_t n = GetParam();
+  util::RngStream rng(77 + n);
+  double worst_ratio = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    CongestionTracker tracker(n);
+    for (std::size_t ball = 0; ball < n; ++ball) {
+      tracker.record(rng.uniform_index(n));
+    }
+    const double ratio = static_cast<double>(tracker.current_max()) /
+                         balls_into_bins_bound(n);
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+  // High-probability bound with a modest constant.
+  EXPECT_LT(worst_ratio, 3.0);
+  EXPECT_GT(worst_ratio, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BallsIntoBinsSweep,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace mwr::parallel

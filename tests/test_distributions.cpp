@@ -1,0 +1,125 @@
+// Unit tests for datasets/distributions: the random and unimodal synthetic
+// families of §IV-A.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/distributions.hpp"
+
+namespace mwr::datasets {
+namespace {
+
+TEST(SyntheticSizes, ArePowersOfFourFrom64To16384) {
+  EXPECT_EQ(synthetic_sizes(),
+            (std::vector<std::size_t>{64, 256, 1024, 4096, 16384}));
+}
+
+TEST(MakeRandom, HasRequestedSizeAndName) {
+  const auto options = make_random(256, 1);
+  EXPECT_EQ(options.size(), 256u);
+  EXPECT_EQ(options.name(), "random256");
+}
+
+TEST(MakeRandom, IsDeterministicPerSeed) {
+  const auto a = make_random(64, 7);
+  const auto b = make_random(64, 7);
+  const auto c = make_random(64, 8);
+  EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                         b.values().begin()));
+  EXPECT_FALSE(std::equal(a.values().begin(), a.values().end(),
+                          c.values().begin()));
+}
+
+TEST(MakeRandom, ValuesAreUniformOnUnitInterval) {
+  const auto options = make_random(16384, 2);
+  double sum = 0.0;
+  for (const double v : options.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(options.size()), 0.5, 0.02);
+}
+
+TEST(UnimodalCurve, MatchesClosedForm) {
+  UnimodalParams params{.a = 2.0, .b = 0.5, .c = 0.25};
+  EXPECT_DOUBLE_EQ(unimodal_curve(0.0, params), 0.25);
+  EXPECT_NEAR(unimodal_curve(2.0, params), 2.0 * 2.0 * std::exp(-1.0) + 0.25,
+              1e-12);
+}
+
+TEST(MakeUnimodal, ParametricRescaleHitsFloorAndCeil) {
+  UnimodalParams params;
+  params.rescale = true;
+  params.floor = 0.1;
+  params.ceil = 0.9;
+  const auto options = make_unimodal(128, params, 3);
+  const auto [lo, hi] =
+      std::minmax_element(options.values().begin(), options.values().end());
+  EXPECT_NEAR(*lo, 0.1, 1e-9);
+  EXPECT_NEAR(*hi, 0.9, 1e-9);
+}
+
+TEST(MakeUnimodal, ParametricCurveIsSingleTopped) {
+  // Without noise the rescaled curve rises to one peak then falls.
+  UnimodalParams params{.a = 1.0, .b = 0.4, .c = 0.1};
+  params.span = 16.0;
+  const auto options = make_unimodal(64, params, 4, /*noise=*/0.0);
+  const auto& v = options.values();
+  const auto peak = static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+  for (std::size_t i = 0; i + 1 < peak; ++i) EXPECT_LE(v[i], v[i + 1] + 1e-12);
+  for (std::size_t i = peak; i + 1 < v.size(); ++i)
+    EXPECT_GE(v[i], v[i + 1] - 1e-12);
+}
+
+TEST(MakeUnimodal, RawConventionKeepsValuesInUnitInterval) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto options = make_unimodal(256, seed);
+    for (const double v : options.values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(MakeUnimodal, IsDeterministicPerSeed) {
+  const auto a = make_unimodal(128, 9);
+  const auto b = make_unimodal(128, 9);
+  EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                         b.values().begin()));
+}
+
+TEST(MakeUnimodal, DifferentSizesDrawDifferentShapes) {
+  // Each size is a fresh (a, b, c) draw — the source of the paper's
+  // per-size difficulty variance.
+  const auto small = make_unimodal(64, 11);
+  const auto large = make_unimodal(256, 11 ^ (256 * 40503ULL));
+  EXPECT_NE(small.best_value(), large.best_value());
+}
+
+TEST(MakeUnimodal, NoiseBroadensButStaysBounded) {
+  UnimodalParams params;
+  const auto options = make_unimodal(64, params, 5, /*noise=*/0.2);
+  for (const double v : options.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+class UnimodalSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnimodalSizeSweep, BestOptionIsAnInteriorOrEarlyPeak) {
+  const auto options = make_unimodal(GetParam(), 13);
+  // The raw-index convention puts the mode at x = 1/b, which the bounded
+  // draw keeps inside the instance.
+  EXPECT_LT(options.best_option(), options.size());
+  EXPECT_GT(options.best_value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UnimodalSizeSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace mwr::datasets

@@ -1,0 +1,201 @@
+// Robustness suite: boundary parameters and degenerate inputs across the
+// library — the configurations a downstream user will eventually feed it.
+#include <gtest/gtest.h>
+
+#include "apr/mutation_pool.hpp"
+#include "apr/test_oracle.hpp"
+#include "core/mwu.hpp"
+#include "core/regret.hpp"
+#include "core/slate_mwu.hpp"
+#include "datasets/distributions.hpp"
+
+namespace mwr {
+namespace {
+
+// --- MWU boundary parameters -----------------------------------------------
+
+TEST(EdgeCases, SingleOptionInstanceConvergesImmediately) {
+  core::OptionSet options("one", {0.5});
+  const core::BernoulliOracle oracle(options);
+  core::MwuConfig config;
+  config.num_options = 1;
+  for (const auto kind : {core::MwuKind::kStandard, core::MwuKind::kSlate,
+                          core::MwuKind::kDistributed, core::MwuKind::kExp3}) {
+    const auto result =
+        core::run_mwu(kind, oracle, config, util::RngStream(1));
+    EXPECT_EQ(result.best_option, 0u) << core::to_string(kind);
+    // k = 1: the only option holds all probability from the start.
+    EXPECT_TRUE(result.converged) << core::to_string(kind);
+    EXPECT_LE(result.iterations, 2u) << core::to_string(kind);
+  }
+}
+
+TEST(EdgeCases, TwoOptionInstanceIsLegalEverywhere) {
+  core::OptionSet options("two", {0.2, 0.8});
+  const core::BernoulliOracle oracle(options);
+  core::MwuConfig config;
+  config.num_options = 2;
+  config.max_iterations = 3000;
+  for (const auto kind : {core::MwuKind::kStandard, core::MwuKind::kSlate,
+                          core::MwuKind::kExp3}) {
+    const auto result =
+        core::run_mwu(kind, oracle, config, util::RngStream(2));
+    EXPECT_EQ(result.best_option, 1u) << core::to_string(kind);
+  }
+}
+
+TEST(EdgeCases, SlateWithGammaOneIsFullEvaluation) {
+  core::MwuConfig config;
+  config.num_options = 6;
+  config.exploration = 1.0;  // slate == whole option set, pure exploration
+  core::SlateMwu mwu(config);
+  EXPECT_EQ(mwu.slate_size(), 6u);
+  util::RngStream rng(3);
+  const auto slate = mwu.sample(rng);
+  EXPECT_EQ(slate.size(), 6u);
+  // Max achievable probability is the uniform floor: never converges.
+  EXPECT_NEAR(mwu.max_achievable_probability(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(EdgeCases, DistributedWithFullExplorationNeverLearnsButStaysLegal) {
+  core::MwuConfig config;
+  config.num_options = 8;
+  config.exploration = 1.0;  // every observation is a random option
+  config.max_iterations = 50;
+  core::OptionSet options("flat", std::vector<double>(8, 0.5));
+  const core::BernoulliOracle oracle(options);
+  const auto result =
+      core::run_mwu(core::MwuKind::kDistributed, oracle, config,
+                    util::RngStream(4));
+  EXPECT_LE(result.iterations, 50u);
+  for (const double p : result.probabilities) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(EdgeCases, ZeroValueOptionsNeverRewardAndNeverWin) {
+  std::vector<double> values(10, 0.0);
+  values[7] = 0.6;
+  core::OptionSet options("mostly-dead", std::move(values));
+  const core::BernoulliOracle oracle(options);
+  core::MwuConfig config;
+  config.num_options = 10;
+  const auto result = core::run_mwu(core::MwuKind::kStandard, oracle, config,
+                                    util::RngStream(5));
+  EXPECT_EQ(result.best_option, 7u);
+}
+
+TEST(EdgeCases, MaxIterationsZeroReturnsInitialState) {
+  core::OptionSet options("two", {0.2, 0.8});
+  const core::BernoulliOracle oracle(options);
+  core::MwuConfig config;
+  config.num_options = 2;
+  config.max_iterations = 0;
+  const auto result = core::run_mwu(core::MwuKind::kStandard, oracle, config,
+                                    util::RngStream(6));
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.evaluations, 0u);
+  EXPECT_DOUBLE_EQ(result.probabilities[0], 0.5);
+}
+
+// --- Oracle and pool boundaries ---------------------------------------------
+
+TEST(EdgeCases, OracleAtTheSixtyFourTestCap) {
+  datasets::ScenarioSpec spec;
+  spec.name = "cap";
+  spec.statements = 500;
+  spec.tests = 64;  // the bitmask model's limit
+  spec.coverage = 0.5;
+  spec.safe_rate = 0.5;
+  spec.seed = 9;
+  const apr::ProgramModel program(spec);
+  const apr::TestOracle oracle(program);
+  util::RngStream rng(7);
+  const auto patch = apr::random_patch(program, 5, rng);
+  const auto e = oracle.evaluate(patch);
+  EXPECT_EQ(e.required_total, 64u);
+  EXPECT_LE(e.required_passed, 64u);
+}
+
+TEST(EdgeCases, FullCoverageProgramIsLegal) {
+  datasets::ScenarioSpec spec;
+  spec.name = "full-cov";
+  spec.statements = 300;
+  spec.coverage = 1.0;
+  spec.seed = 10;
+  const apr::ProgramModel program(spec);
+  EXPECT_EQ(program.covered_statements().size(), 300u);
+}
+
+TEST(EdgeCases, NearZeroSafeRateYieldsAlmostNoPool) {
+  datasets::ScenarioSpec spec;
+  spec.name = "hostile";
+  spec.statements = 500;
+  spec.tests = 30;
+  spec.coverage = 0.5;
+  spec.safe_rate = 0.01;
+  spec.seed = 11;
+  const apr::ProgramModel program(spec);
+  const apr::TestOracle oracle(program);
+  apr::PoolConfig config;
+  config.target_size = 500;
+  config.max_attempts = 3000;
+  config.seed = 12;
+  const auto pool = apr::MutationPool::precompute(oracle, config);
+  // Yield tracks the safe rate; the budget guard stops the search.
+  EXPECT_LT(pool.size(), 120u);
+  EXPECT_LE(pool.attempts(), 3000u);
+}
+
+TEST(EdgeCases, SafeRateNearOneMakesEverythingSafe) {
+  datasets::ScenarioSpec spec;
+  spec.name = "benign";
+  spec.statements = 500;
+  spec.tests = 10;
+  spec.coverage = 0.5;
+  spec.safe_rate = 0.999;
+  spec.seed = 13;
+  const apr::ProgramModel program(spec);
+  const apr::TestOracle oracle(program);
+  util::RngStream rng(14);
+  int safe = 0;
+  for (int i = 0; i < 2000; ++i) {
+    safe += oracle.is_safe(apr::random_mutation(program, rng)) ? 1 : 0;
+  }
+  EXPECT_GT(safe, 1950);
+}
+
+TEST(EdgeCases, EmptyPatchAlwaysMatchesBaseline) {
+  datasets::ScenarioSpec spec;
+  spec.name = "baseline";
+  spec.statements = 200;
+  spec.seed = 15;
+  const apr::ProgramModel program(spec);
+  const apr::TestOracle oracle(program);
+  for (int i = 0; i < 10; ++i) {
+    const auto e = oracle.evaluate({});
+    EXPECT_EQ(e.fitness(), oracle.baseline_fitness());
+  }
+}
+
+// --- Instrumentation boundaries ---------------------------------------------
+
+TEST(EdgeCases, RegretTraceRecordsPmaxPerCycle) {
+  const auto options = datasets::make_unimodal(16, 16);
+  core::MwuConfig config;
+  config.num_options = 16;
+  config.max_iterations = 50;
+  config.convergence_tol = 0.0;
+  const auto trace = core::run_mwu_with_regret(
+      core::MwuKind::kStandard, options, config, util::RngStream(17));
+  ASSERT_EQ(trace.max_probability.size(), trace.cumulative.size());
+  for (const double p : trace.max_probability) {
+    EXPECT_GE(p, 1.0 / 16.0 - 1e-9);
+    EXPECT_LE(p, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mwr

@@ -1,0 +1,86 @@
+// Unit tests for costmodel/evaluation: the Tables II-IV sweep harness.
+#include <gtest/gtest.h>
+
+#include "costmodel/evaluation.hpp"
+
+namespace mwr::costmodel {
+namespace {
+
+EvalConfig tiny_config() {
+  EvalConfig config;
+  config.seeds = 2;
+  config.max_size = 64;
+  config.max_iterations = 2000;
+  config.master_seed = 123;
+  return config;
+}
+
+TEST(RunEvaluation, ThreeCellsPerDataset) {
+  const auto cells = run_evaluation(tiny_config());
+  // max_size 64 keeps random64, unimodal64, lighttpd(50): 3 datasets x 3.
+  ASSERT_EQ(cells.size(), 9u);
+  for (std::size_t i = 0; i + 2 < cells.size(); i += 3) {
+    EXPECT_EQ(cells[i].kind, core::MwuKind::kStandard);
+    EXPECT_EQ(cells[i + 1].kind, core::MwuKind::kDistributed);
+    EXPECT_EQ(cells[i + 2].kind, core::MwuKind::kSlate);
+    EXPECT_EQ(cells[i].dataset, cells[i + 1].dataset);
+    EXPECT_EQ(cells[i].dataset, cells[i + 2].dataset);
+  }
+}
+
+TEST(RunEvaluation, CellsCarryReplicationStatistics) {
+  const auto config = tiny_config();
+  const auto cells = run_evaluation(config);
+  for (const auto& cell : cells) {
+    if (cell.intractable) continue;
+    EXPECT_EQ(cell.iterations.count(), config.seeds) << cell.dataset;
+    EXPECT_EQ(cell.accuracy.count(), config.seeds);
+    EXPECT_GT(cell.cpus_per_cycle, 0u);
+    EXPECT_GE(cell.accuracy.mean(), 0.0);
+    EXPECT_LE(cell.accuracy.mean(), 100.0);
+    EXPECT_NEAR(cell.cpu_iterations.mean(),
+                cell.iterations.mean() *
+                    static_cast<double>(cell.cpus_per_cycle),
+                1e-6);
+  }
+}
+
+TEST(RunEvaluation, DistributedIntractableCellsAtFullScale) {
+  auto config = tiny_config();
+  config.seeds = 1;
+  config.max_size = 16384;
+  config.max_iterations = 1;  // keep the tractable runs trivial
+  const auto cells = run_evaluation(config);
+  std::size_t intractable = 0;
+  for (const auto& cell : cells) {
+    if (cell.intractable) {
+      EXPECT_EQ(cell.kind, core::MwuKind::kDistributed);
+      EXPECT_EQ(cell.size, 16384u);
+      ++intractable;
+    }
+  }
+  // Exactly the paper's two "-" cells: random16384 and unimodal16384.
+  EXPECT_EQ(intractable, 2u);
+}
+
+TEST(RunEvaluation, DeterministicPerMasterSeed) {
+  const auto a = run_evaluation(tiny_config());
+  const auto b = run_evaluation(tiny_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].iterations.mean(), b[i].iterations.mean());
+    EXPECT_EQ(a[i].accuracy.mean(), b[i].accuracy.mean());
+  }
+}
+
+TEST(FindCell, LooksUpByDatasetAndKind) {
+  const auto cells = run_evaluation(tiny_config());
+  const auto& cell = find_cell(cells, "random64", core::MwuKind::kSlate);
+  EXPECT_EQ(cell.dataset, "random64");
+  EXPECT_EQ(cell.kind, core::MwuKind::kSlate);
+  EXPECT_THROW((void)find_cell(cells, "no-such-dataset", core::MwuKind::kSlate),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mwr::costmodel

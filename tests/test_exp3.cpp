@@ -1,0 +1,127 @@
+// Unit tests for core/exp3_mwu: the importance-weighted extension variant.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exp3_mwu.hpp"
+
+namespace mwr::core {
+namespace {
+
+MwuConfig config_for(std::size_t k, std::size_t agents = 16) {
+  MwuConfig config;
+  config.num_options = k;
+  config.num_agents = agents;
+  return config;
+}
+
+TEST(Exp3Mwu, RejectsBadConfiguration) {
+  EXPECT_THROW(Exp3Mwu(config_for(0)), std::invalid_argument);
+  EXPECT_THROW(Exp3Mwu(config_for(4, 0)), std::invalid_argument);
+  auto bad = config_for(4);
+  bad.exploration = 0.0;
+  EXPECT_THROW(Exp3Mwu{bad}, std::invalid_argument);
+  bad.exploration = 1.5;
+  EXPECT_THROW(Exp3Mwu{bad}, std::invalid_argument);
+}
+
+TEST(Exp3Mwu, FactoryAndNaming) {
+  EXPECT_EQ(to_string(MwuKind::kExp3), "Exp3");
+  const auto strategy = make_mwu(MwuKind::kExp3, config_for(8));
+  EXPECT_EQ(strategy->kind(), MwuKind::kExp3);
+  EXPECT_EQ(strategy->cpus_per_cycle(), 16u);
+}
+
+TEST(Exp3Mwu, InitialDistributionIsUniform) {
+  Exp3Mwu mwu(config_for(10));
+  for (const double p : mwu.probabilities()) EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+TEST(Exp3Mwu, ProbabilitiesKeepTheGammaFloor) {
+  auto config = config_for(10);
+  config.exploration = 0.2;
+  Exp3Mwu mwu(config);
+  util::RngStream rng(1);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const auto probes = mwu.sample(rng);
+    std::vector<double> rewards(probes.size());
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      rewards[j] = probes[j] == 0 ? 1.0 : 0.0;  // option 0 always wins
+    }
+    mwu.update(probes, rewards, rng);
+  }
+  const auto p = mwu.probabilities();
+  for (const double v : p) EXPECT_GE(v, 0.2 / 10.0 - 1e-12);
+  EXPECT_EQ(mwu.best_option(), 0u);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(Exp3Mwu, ImportanceWeightingBoostsRareObservations) {
+  // The same unit reward moves a low-probability option's weight more than
+  // a high-probability one's — the defining Exp3 property.
+  auto config = config_for(4, 1);
+  Exp3Mwu mwu(config);
+  util::RngStream rng(2);
+  // Skew the distribution toward option 0 first.
+  for (int i = 0; i < 30; ++i) {
+    mwu.update(std::vector<std::size_t>{0}, std::vector<double>{1.0}, rng);
+  }
+  const auto p_before = mwu.probabilities();
+  ASSERT_GT(p_before[0], p_before[1]);
+  // One unit reward each for the likely and unlikely option.
+  Exp3Mwu likely = mwu;
+  Exp3Mwu unlikely = mwu;
+  util::RngStream rng2(3);
+  likely.update(std::vector<std::size_t>{0}, std::vector<double>{1.0}, rng2);
+  unlikely.update(std::vector<std::size_t>{1}, std::vector<double>{1.0}, rng2);
+  const double likely_gain =
+      likely.probabilities()[0] / p_before[0];
+  const double unlikely_gain =
+      unlikely.probabilities()[1] / p_before[1];
+  EXPECT_GT(unlikely_gain, likely_gain);
+}
+
+TEST(Exp3Mwu, UpdateRejectsSizeMismatch) {
+  Exp3Mwu mwu(config_for(4));
+  util::RngStream rng(4);
+  EXPECT_THROW(mwu.update(std::vector<std::size_t>{0},
+                          std::vector<double>{1.0, 0.0}, rng),
+               std::invalid_argument);
+}
+
+TEST(Exp3Mwu, FindsTheDominantOptionByWeight) {
+  OptionSet options("easy", {0.05, 0.05, 0.9, 0.05, 0.05, 0.05, 0.05, 0.05});
+  const BernoulliOracle oracle(options);
+  auto config = config_for(8);
+  config.max_iterations = 400;
+  const auto result =
+      run_mwu(MwuKind::kExp3, oracle, config, util::RngStream(5));
+  EXPECT_EQ(result.best_option, 2u);
+  EXPECT_GT(options.accuracy_percent(result.best_option), 99.0);
+}
+
+TEST(Exp3Mwu, WeightsStayBoundedOverLongRuns) {
+  Exp3Mwu mwu(config_for(4, 8));
+  util::RngStream rng(6);
+  for (int cycle = 0; cycle < 3000; ++cycle) {
+    const auto probes = mwu.sample(rng);
+    std::vector<double> rewards(probes.size(), 1.0);
+    mwu.update(probes, rewards, rng);
+  }
+  for (const double w : mwu.weights()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(Exp3Mwu, InitResets) {
+  Exp3Mwu mwu(config_for(4));
+  util::RngStream rng(7);
+  mwu.update(std::vector<std::size_t>(16, 0), std::vector<double>(16, 1.0),
+             rng);
+  mwu.init();
+  for (const double p : mwu.probabilities()) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace mwr::core

@@ -1,0 +1,162 @@
+// Unit tests for apr/fault_localization: the coverage spectrum, Ochiai
+// scoring, FL-weighted targeting, and the localized-relevance oracle mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apr/fault_localization.hpp"
+#include "apr/test_oracle.hpp"
+
+namespace mwr::apr {
+namespace {
+
+datasets::ScenarioSpec toy_spec() {
+  datasets::ScenarioSpec spec;
+  spec.name = "fl-toy";
+  spec.statements = 4000;
+  spec.tests = 20;
+  spec.coverage = 0.7;
+  spec.safe_rate = 0.55;
+  spec.repair_rate = 0.01;
+  spec.optimum = 30;
+  spec.seed = 81;
+  return spec;
+}
+
+TEST(CoverageSpectrum, FailingRegionIsTheExpectedFraction) {
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  const double fraction =
+      static_cast<double>(spectrum.failing_region().size()) /
+      static_cast<double>(program.covered_statements().size());
+  EXPECT_NEAR(fraction, kFailingRegionFraction, 0.04);
+}
+
+TEST(CoverageSpectrum, FailingRegionMatchesThePredicate) {
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  for (const auto s : spectrum.failing_region()) {
+    EXPECT_TRUE(spectrum.failing_covers(s));
+    EXPECT_TRUE(failing_test_covers(program.spec(), s));
+  }
+}
+
+TEST(CoverageSpectrum, SuspiciousnessIsZeroOutsideTheFailingRegion) {
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  for (const auto s : program.covered_statements()) {
+    if (!spectrum.failing_covers(s)) {
+      EXPECT_DOUBLE_EQ(spectrum.suspiciousness(s), 0.0);
+    } else {
+      EXPECT_GT(spectrum.suspiciousness(s), 0.0);
+      EXPECT_LE(spectrum.suspiciousness(s), 1.0);
+    }
+  }
+}
+
+TEST(CoverageSpectrum, OchiaiPenalizesHeavilyExercisedStatements) {
+  // suspiciousness = 1 / sqrt(1 + passing_count): strictly decreasing.
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  for (const auto s : spectrum.failing_region()) {
+    const double expected =
+        1.0 / std::sqrt(1.0 + spectrum.passing_count(s));
+    EXPECT_NEAR(spectrum.suspiciousness(s), expected, 1e-12);
+  }
+}
+
+TEST(MutationTargeter, RejectsZeroEpsilon) {
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  EXPECT_THROW(MutationTargeter(spectrum, 0.0), std::invalid_argument);
+}
+
+TEST(MutationTargeter, ConcentratesMassOnTheFailingRegion) {
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  const MutationTargeter targeter(spectrum, 0.05);
+  const double uniform_mass =
+      static_cast<double>(spectrum.failing_region().size()) /
+      static_cast<double>(program.covered_statements().size());
+  EXPECT_GT(targeter.mass_on_failing_region(), 3.0 * uniform_mass);
+}
+
+TEST(MutationTargeter, SampledTargetsFollowTheWeights) {
+  const ProgramModel program(toy_spec());
+  const CoverageSpectrum spectrum(program);
+  const MutationTargeter targeter(spectrum, 0.05);
+  util::RngStream rng(1);
+  std::size_t in_region = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Mutation m = targeter.sample(rng);
+    EXPECT_TRUE(program.is_covered(m.target));
+    if (spectrum.failing_covers(m.target)) ++in_region;
+  }
+  EXPECT_NEAR(static_cast<double>(in_region) / kSamples,
+              targeter.mass_on_failing_region(), 0.02);
+}
+
+TEST(LocalizedRelevance, RelevantMutationsLiveOnlyInTheFailingRegion) {
+  auto spec = toy_spec();
+  spec.relevance_localized = true;
+  const ProgramModel program(spec);
+  const TestOracle oracle(program);
+  util::RngStream rng(2);
+  std::size_t relevant = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const Mutation m = random_mutation(program, rng);
+    if (oracle.is_repair_relevant(m)) {
+      ++relevant;
+      EXPECT_TRUE(failing_test_covers(spec, m.target));
+    }
+  }
+  EXPECT_GT(relevant, 0u);
+}
+
+TEST(LocalizedRelevance, OverallRelevanceRateIsPreserved) {
+  // Localization concentrates relevance without changing its total rate.
+  auto uniform_spec = toy_spec();
+  auto localized_spec = toy_spec();
+  localized_spec.relevance_localized = true;
+  const ProgramModel uniform_program(uniform_spec);
+  const ProgramModel localized_program(localized_spec);
+  const TestOracle uniform_oracle(uniform_program);
+  const TestOracle localized_oracle(localized_program);
+  util::RngStream rng(3);
+  std::size_t uniform_relevant = 0;
+  std::size_t localized_relevant = 0;
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Mutation m = random_mutation(uniform_program, rng);
+    if (uniform_oracle.is_repair_relevant(m)) ++uniform_relevant;
+    if (localized_oracle.is_repair_relevant(m)) ++localized_relevant;
+  }
+  const double uniform_rate =
+      static_cast<double>(uniform_relevant) / kSamples;
+  const double localized_rate =
+      static_cast<double>(localized_relevant) / kSamples;
+  EXPECT_NEAR(localized_rate, uniform_rate, 0.4 * uniform_rate + 2e-4);
+}
+
+TEST(LocalizedRelevance, FlTargetingFindsRelevantMutationsFaster) {
+  auto spec = toy_spec();
+  spec.relevance_localized = true;
+  const ProgramModel program(spec);
+  const TestOracle oracle(program);
+  const CoverageSpectrum spectrum(program);
+  const MutationTargeter targeter(spectrum, 0.05);
+  util::RngStream rng(4);
+  constexpr int kSamples = 120000;
+  std::size_t uniform_hits = 0;
+  std::size_t fl_hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (oracle.is_repair_relevant(random_mutation(program, rng)))
+      ++uniform_hits;
+    if (oracle.is_repair_relevant(targeter.sample(rng))) ++fl_hits;
+  }
+  EXPECT_GT(fl_hits, 3 * uniform_hits);
+}
+
+}  // namespace
+}  // namespace mwr::apr

@@ -1,0 +1,74 @@
+// Unit tests for util/log: threshold filtering and concurrent writes.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace mwr::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, BelowThresholdIsDropped) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "component", "should not appear");
+  log_line(LogLevel::kError, "component", "should appear");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+}
+
+TEST_F(LogTest, LineFormatIncludesLevelAndComponent) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  log_line(LogLevel::kWarn, "pool", "message body");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("WARN pool: message body"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamMacroBuildsMessage) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  MWR_LOG(kInfo, "test") << "value=" << 42;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("INFO test: value=42"), std::string::npos);
+}
+
+TEST_F(LogTest, ConcurrentWritersDoNotInterleaveWithinLines) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        log_line(LogLevel::kInfo, "writer", "aaaaaaaaaa");
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  // 200 complete lines, each ending with the full message.
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = err.find("aaaaaaaaaa\n", pos)) != std::string::npos) {
+    ++lines;
+    pos += 1;
+  }
+  EXPECT_EQ(lines, 200u);
+}
+
+}  // namespace
+}  // namespace mwr::util

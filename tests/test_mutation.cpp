@@ -1,0 +1,143 @@
+// Unit tests for apr/mutation: canonical keys, patch canonicalization, and
+// the random generators every search algorithm shares.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apr/mutation.hpp"
+
+namespace mwr::apr {
+namespace {
+
+datasets::ScenarioSpec small_spec() {
+  datasets::ScenarioSpec spec;
+  spec.name = "toy";
+  spec.statements = 500;
+  spec.coverage = 0.5;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(MutationKindNames, AreStable) {
+  EXPECT_EQ(to_string(MutationKind::kDelete), "delete");
+  EXPECT_EQ(to_string(MutationKind::kInsert), "insert");
+  EXPECT_EQ(to_string(MutationKind::kSwap), "swap");
+}
+
+TEST(MutationKey, DistinguishesKinds) {
+  const Mutation del{MutationKind::kDelete, 5, 0};
+  const Mutation ins{MutationKind::kInsert, 5, 0};
+  const Mutation swp{MutationKind::kSwap, 5, 0};
+  EXPECT_NE(del.key(), ins.key());
+  EXPECT_NE(del.key(), swp.key());
+  EXPECT_NE(ins.key(), swp.key());
+}
+
+TEST(MutationKey, DeleteIgnoresDonor) {
+  const Mutation a{MutationKind::kDelete, 5, 17};
+  const Mutation b{MutationKind::kDelete, 5, 99};
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(MutationKey, SwapIsSymmetric) {
+  const Mutation a{MutationKind::kSwap, 3, 9};
+  const Mutation b{MutationKind::kSwap, 9, 3};
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(MutationKey, InsertIsDirectional) {
+  const Mutation a{MutationKind::kInsert, 3, 9};
+  const Mutation b{MutationKind::kInsert, 9, 3};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(Canonicalize, SortsAndDeduplicates) {
+  Patch patch = {{MutationKind::kInsert, 9, 2},
+                 {MutationKind::kDelete, 1, 0},
+                 {MutationKind::kInsert, 9, 2},
+                 {MutationKind::kSwap, 4, 2},
+                 {MutationKind::kSwap, 2, 4}};
+  canonicalize(patch);
+  EXPECT_EQ(patch.size(), 3u);
+  for (std::size_t i = 1; i < patch.size(); ++i) {
+    EXPECT_LT(patch[i - 1].key(), patch[i].key());
+  }
+}
+
+TEST(RandomMutation, TargetsOnlyCoveredStatements) {
+  const ProgramModel program(small_spec());
+  util::RngStream rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Mutation m = random_mutation(program, rng);
+    EXPECT_TRUE(program.is_covered(m.target));
+    if (m.kind != MutationKind::kDelete) {
+      EXPECT_LT(m.donor, program.num_statements());
+    }
+  }
+}
+
+TEST(RandomMutation, ProducesAllThreeKinds) {
+  const ProgramModel program(small_spec());
+  util::RngStream rng(2);
+  std::set<MutationKind> kinds;
+  for (int i = 0; i < 200; ++i) kinds.insert(random_mutation(program, rng).kind);
+  EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(RandomPatch, HasRequestedDistinctEdits) {
+  const ProgramModel program(small_spec());
+  util::RngStream rng(3);
+  const Patch patch = random_patch(program, 20, rng);
+  EXPECT_EQ(patch.size(), 20u);
+  std::set<std::uint64_t> keys;
+  for (const auto& m : patch) keys.insert(m.key());
+  EXPECT_EQ(keys.size(), 20u);
+}
+
+TEST(SampleFromPool, DrawsDistinctMembers) {
+  const ProgramModel program(small_spec());
+  util::RngStream rng(4);
+  const Patch pool = random_patch(program, 50, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Patch draw = sample_from_pool(pool, 10, rng);
+    EXPECT_EQ(draw.size(), 10u);
+    std::set<std::uint64_t> keys;
+    for (const auto& m : draw) {
+      keys.insert(m.key());
+      // Every drawn mutation must exist in the pool.
+      EXPECT_TRUE(std::any_of(pool.begin(), pool.end(), [&](const Mutation& p) {
+        return p.key() == m.key();
+      }));
+    }
+    EXPECT_EQ(keys.size(), 10u);
+  }
+}
+
+TEST(SampleFromPool, ClampsToPoolSize) {
+  const ProgramModel program(small_spec());
+  util::RngStream rng(5);
+  const Patch pool = random_patch(program, 5, rng);
+  const Patch draw = sample_from_pool(pool, 50, rng);
+  EXPECT_EQ(draw.size(), 5u);
+}
+
+TEST(SampleFromPool, IsUniformOverThePool) {
+  const ProgramModel program(small_spec());
+  util::RngStream rng(6);
+  const Patch pool = random_patch(program, 10, rng);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (const auto& m : sample_from_pool(pool, 3, rng)) {
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i].key() == m.key()) ++counts[i];
+      }
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace mwr::apr

@@ -1,0 +1,156 @@
+// Unit tests for apr/mutation_pool: the phase-1 precompute — yield, dedup,
+// parallel validation, budget limits, and incremental revalidation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apr/mutation_pool.hpp"
+
+namespace mwr::apr {
+namespace {
+
+datasets::ScenarioSpec toy_spec() {
+  datasets::ScenarioSpec spec;
+  spec.name = "toy";
+  spec.statements = 2000;
+  spec.tests = 15;
+  spec.coverage = 0.7;
+  spec.safe_rate = 0.5;
+  spec.repair_rate = 0.01;
+  spec.optimum = 30;
+  spec.seed = 41;
+  return spec;
+}
+
+TEST(MutationPool, ReachesTargetSize) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 300;
+  config.seed = 1;
+  const auto pool = MutationPool::precompute(oracle, config);
+  EXPECT_EQ(pool.size(), 300u);
+  EXPECT_FALSE(pool.empty());
+}
+
+TEST(MutationPool, EveryMemberIsIndividuallySafe) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 200;
+  config.seed = 2;
+  const auto pool = MutationPool::precompute(oracle, config);
+  for (const auto& m : pool.mutations()) {
+    EXPECT_TRUE(oracle.is_safe(m));
+  }
+}
+
+TEST(MutationPool, MembersAreDeduplicated) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 400;
+  config.seed = 3;
+  const auto pool = MutationPool::precompute(oracle, config);
+  std::set<std::uint64_t> keys;
+  for (const auto& m : pool.mutations()) keys.insert(m.key());
+  EXPECT_EQ(keys.size(), pool.size());
+}
+
+TEST(MutationPool, AttemptsReflectTheYieldRate) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 500;
+  config.seed = 4;
+  const auto pool = MutationPool::precompute(oracle, config);
+  // With safe_rate 0.5 the precompute should need roughly 2x candidates.
+  EXPECT_GE(pool.attempts(), pool.size());
+  EXPECT_LE(pool.attempts(), 4 * pool.size());
+  // Every attempt ran the suite once.
+  EXPECT_EQ(oracle.suite_runs(), pool.attempts());
+}
+
+TEST(MutationPool, RespectsAttemptBudget) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 100000;  // unreachable
+  config.max_attempts = 500;
+  config.seed = 5;
+  const auto pool = MutationPool::precompute(oracle, config);
+  EXPECT_LE(pool.attempts(), 500u);
+  EXPECT_LT(pool.size(), 100000u);
+  EXPECT_GT(pool.size(), 0u);
+}
+
+TEST(MutationPool, DeterministicPerSeed) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle_a(program);
+  const TestOracle oracle_b(program);
+  PoolConfig config;
+  config.target_size = 150;
+  config.seed = 6;
+  const auto a = MutationPool::precompute(oracle_a, config);
+  const auto b = MutationPool::precompute(oracle_b, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.mutations()[i].key(), b.mutations()[i].key());
+  }
+}
+
+TEST(MutationPool, ThreadCountDoesNotChangeTheResult) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle_a(program);
+  const TestOracle oracle_b(program);
+  PoolConfig config;
+  config.target_size = 150;
+  config.seed = 7;
+  config.threads = 1;
+  const auto a = MutationPool::precompute(oracle_a, config);
+  config.threads = 8;
+  const auto b = MutationPool::precompute(oracle_b, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.mutations()[i].key(), b.mutations()[i].key());
+  }
+}
+
+TEST(MutationPool, RevalidateAgainstSameOracleDropsNothing) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 200;
+  config.seed = 8;
+  auto pool = MutationPool::precompute(oracle, config);
+  EXPECT_EQ(pool.revalidate(oracle), 0u);
+  EXPECT_EQ(pool.size(), 200u);
+}
+
+TEST(MutationPool, RevalidateDropsMembersUnderAGrownSuite) {
+  // The incremental-update path of §III-C: a new test exposes some
+  // previously-safe mutations.
+  auto spec = toy_spec();
+  const ProgramModel program(spec);
+  const TestOracle oracle(program);
+  PoolConfig config;
+  config.target_size = 300;
+  config.seed = 9;
+  auto pool = MutationPool::precompute(oracle, config);
+
+  auto grown = spec;
+  grown.tests = spec.tests + 5;  // five new regression tests
+  const ProgramModel grown_program(grown);
+  const TestOracle grown_oracle(grown_program);
+  const std::size_t dropped = pool.revalidate(grown_oracle);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(pool.size(), 300u - dropped);
+  for (const auto& m : pool.mutations()) {
+    const Patch single{m};
+    const auto e = grown_oracle.evaluate(single);
+    EXPECT_EQ(e.required_passed, e.required_total);
+  }
+}
+
+}  // namespace
+}  // namespace mwr::apr

@@ -1,0 +1,95 @@
+// Unit tests for core/regret: the instrumented runner and the reference
+// envelope.
+#include <gtest/gtest.h>
+
+#include "core/regret.hpp"
+#include "datasets/distributions.hpp"
+
+namespace mwr::core {
+namespace {
+
+TEST(RegretTrace, EmptyTraceIsZero) {
+  RegretTrace trace;
+  EXPECT_DOUBLE_EQ(trace.total(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.at_cycle(5), 0.0);
+}
+
+TEST(RegretTrace, AtCycleIndexesAndClamps) {
+  RegretTrace trace;
+  trace.cumulative = {1.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(trace.at_cycle(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.at_cycle(1), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at_cycle(3), 6.0);
+  EXPECT_DOUBLE_EQ(trace.at_cycle(99), 6.0);
+  EXPECT_DOUBLE_EQ(trace.total(), 6.0);
+}
+
+TEST(RunWithRegret, CumulativeRegretIsMonotoneNonDecreasing) {
+  const auto options = datasets::make_random(32, 3);
+  MwuConfig config;
+  config.num_options = 32;
+  config.max_iterations = 100;
+  config.convergence_tol = 0.0;
+  const auto trace = run_mwu_with_regret(MwuKind::kStandard, options, config,
+                                         util::RngStream(1));
+  ASSERT_FALSE(trace.cumulative.empty());
+  for (std::size_t i = 1; i < trace.cumulative.size(); ++i) {
+    EXPECT_GE(trace.cumulative[i], trace.cumulative[i - 1]);
+  }
+  EXPECT_EQ(trace.probes_per_cycle, config.num_agents);
+  EXPECT_EQ(trace.result.evaluations,
+            trace.cumulative.size() * config.num_agents);
+}
+
+TEST(RunWithRegret, PerCycleRegretShrinksAsLearningProgresses) {
+  // The average per-cycle regret over the last quarter of the horizon must
+  // be well below the first quarter's — MWU is learning.
+  OptionSet options("easy", {0.05, 0.05, 0.95, 0.05, 0.05, 0.05, 0.05, 0.05});
+  MwuConfig config;
+  config.num_options = 8;
+  config.max_iterations = 200;
+  config.convergence_tol = 0.0;
+  const auto trace = run_mwu_with_regret(MwuKind::kStandard, options, config,
+                                         util::RngStream(2));
+  const std::size_t quarter = trace.cumulative.size() / 4;
+  ASSERT_GT(quarter, 5u);
+  const double early = trace.cumulative[quarter - 1];
+  const double late =
+      trace.cumulative.back() - trace.cumulative[3 * quarter - 1];
+  EXPECT_LT(late, 0.5 * early);
+}
+
+TEST(RunWithRegret, StaysBelowTheAdversarialEnvelope) {
+  const auto options = datasets::make_random(64, 5);
+  MwuConfig config;
+  config.num_options = 64;
+  config.max_iterations = 300;
+  config.convergence_tol = 0.0;
+  for (const auto kind : {MwuKind::kStandard, MwuKind::kExp3}) {
+    const auto trace =
+        run_mwu_with_regret(kind, options, config, util::RngStream(6));
+    const double probes = static_cast<double>(trace.result.evaluations);
+    EXPECT_LT(trace.total(), adversarial_regret_bound(probes, 64, 2.0))
+        << to_string(kind);
+  }
+}
+
+TEST(RunWithRegret, IntractableDistributedShortCircuits) {
+  const auto options = datasets::make_random(16384, 7);
+  MwuConfig config;
+  config.num_options = 16384;
+  const auto trace = run_mwu_with_regret(MwuKind::kDistributed, options,
+                                         config, util::RngStream(8));
+  EXPECT_TRUE(trace.result.intractable);
+  EXPECT_TRUE(trace.cumulative.empty());
+}
+
+TEST(AdversarialBound, GrowsAsSqrtT) {
+  const double at_100 = adversarial_regret_bound(100, 64);
+  const double at_400 = adversarial_regret_bound(400, 64);
+  EXPECT_NEAR(at_400 / at_100, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(adversarial_regret_bound(0, 64), 0.0);
+}
+
+}  // namespace
+}  // namespace mwr::core

@@ -1,0 +1,163 @@
+// Unit tests for core/serialization: checkpoint round-trips for all four
+// strategies and format/compatibility errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/distributed_mwu.hpp"
+#include "core/serialization.hpp"
+#include "core/standard_mwu.hpp"
+#include "datasets/distributions.hpp"
+
+namespace mwr::core {
+namespace {
+
+MwuConfig config_for(std::size_t k) {
+  MwuConfig config;
+  config.num_options = k;
+  return config;
+}
+
+// Advance a strategy a few cycles so it carries non-trivial state.
+void warm_up(MwuStrategy& strategy, const CostOracle& oracle,
+             std::uint64_t seed) {
+  util::RngStream rng(seed);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const auto probes = strategy.sample(rng);
+    std::vector<double> rewards(probes.size());
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      rewards[j] = oracle.sample(probes[j], rng);
+    }
+    strategy.update(probes, rewards, rng);
+  }
+}
+
+class SerializationRoundTrip : public ::testing::TestWithParam<MwuKind> {};
+
+TEST_P(SerializationRoundTrip, RestoresProbabilitiesExactly) {
+  const auto options = datasets::make_unimodal(16, 9);
+  const BernoulliOracle oracle(options);
+  const auto config = config_for(16);
+
+  const auto original = make_mwu(GetParam(), config);
+  warm_up(*original, oracle, 11);
+
+  std::stringstream buffer;
+  save_state(*original, buffer);
+
+  const auto restored = make_mwu(GetParam(), config);
+  load_state(*restored, buffer);
+
+  const auto p_original = original->probabilities();
+  const auto p_restored = restored->probabilities();
+  ASSERT_EQ(p_original.size(), p_restored.size());
+  for (std::size_t i = 0; i < p_original.size(); ++i) {
+    EXPECT_NEAR(p_original[i], p_restored[i], 1e-12) << to_string(GetParam());
+  }
+  EXPECT_EQ(original->best_option(), restored->best_option());
+  EXPECT_EQ(original->converged(), restored->converged());
+}
+
+TEST_P(SerializationRoundTrip, RestoredStrategyContinuesIdentically) {
+  const auto options = datasets::make_unimodal(16, 10);
+  const BernoulliOracle oracle(options);
+  const auto config = config_for(16);
+
+  const auto a = make_mwu(GetParam(), config);
+  warm_up(*a, oracle, 21);
+  std::stringstream buffer;
+  save_state(*a, buffer);
+  const auto b = make_mwu(GetParam(), config);
+  load_state(*b, buffer);
+
+  // Same subsequent inputs => identical trajectories.
+  util::RngStream rng_a(31);
+  util::RngStream rng_b(31);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const auto probes_a = a->sample(rng_a);
+    const auto probes_b = b->sample(rng_b);
+    EXPECT_EQ(probes_a, probes_b);
+    std::vector<double> rewards(probes_a.size(), 1.0);
+    a->update(probes_a, rewards, rng_a);
+    b->update(probes_b, rewards, rng_b);
+  }
+  EXPECT_EQ(a->probabilities(), b->probabilities());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SerializationRoundTrip,
+                         ::testing::Values(MwuKind::kStandard, MwuKind::kSlate,
+                                           MwuKind::kDistributed,
+                                           MwuKind::kExp3),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Serialization, RejectsBadMagic) {
+  const auto strategy = make_mwu(MwuKind::kStandard, config_for(4));
+  std::stringstream buffer("not-a-checkpoint\n");
+  EXPECT_THROW(load_state(*strategy, buffer), std::runtime_error);
+}
+
+TEST(Serialization, RejectsKindMismatch) {
+  const auto standard = make_mwu(MwuKind::kStandard, config_for(4));
+  std::stringstream buffer;
+  save_state(*standard, buffer);
+  const auto slate = make_mwu(MwuKind::kSlate, config_for(4));
+  EXPECT_THROW(load_state(*slate, buffer), std::runtime_error);
+}
+
+TEST(Serialization, RejectsOptionCountMismatch) {
+  const auto a = make_mwu(MwuKind::kStandard, config_for(4));
+  std::stringstream buffer;
+  save_state(*a, buffer);
+  const auto b = make_mwu(MwuKind::kStandard, config_for(8));
+  EXPECT_THROW(load_state(*b, buffer), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedState) {
+  const auto a = make_mwu(MwuKind::kStandard, config_for(4));
+  std::stringstream buffer;
+  save_state(*a, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  const auto b = make_mwu(MwuKind::kStandard, config_for(4));
+  EXPECT_THROW(load_state(*b, truncated), std::runtime_error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto options = datasets::make_unimodal(8, 12);
+  const BernoulliOracle oracle(options);
+  const auto a = make_mwu(MwuKind::kStandard, config_for(8));
+  warm_up(*a, oracle, 41);
+  const std::string path = ::testing::TempDir() + "/mwr_checkpoint.txt";
+  save_state_file(*a, path);
+  const auto b = make_mwu(MwuKind::kStandard, config_for(8));
+  load_state_file(*b, path);
+  EXPECT_EQ(a->probabilities(), b->probabilities());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_state_file(*b, "/nonexistent/checkpoint.txt"),
+               std::runtime_error);
+}
+
+TEST(Serialization, SetWeightsValidates) {
+  StandardMwu mwu(config_for(3));
+  EXPECT_THROW(mwu.set_weights({1.0}), std::invalid_argument);
+  EXPECT_THROW(mwu.set_weights({1.0, -1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(mwu.set_weights({0.0, 0.0, 0.0}), std::invalid_argument);
+  mwu.set_weights({0.5, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(mwu.probabilities()[1], 0.5);
+}
+
+TEST(Serialization, SetChoicesValidates) {
+  DistributedMwu mwu(config_for(4));
+  std::vector<std::uint32_t> wrong_size(3, 0);
+  EXPECT_THROW(mwu.set_choices(wrong_size), std::invalid_argument);
+  std::vector<std::uint32_t> out_of_range(mwu.population(), 9);
+  EXPECT_THROW(mwu.set_choices(out_of_range), std::invalid_argument);
+  std::vector<std::uint32_t> valid(mwu.population(), 2);
+  mwu.set_choices(valid);
+  EXPECT_DOUBLE_EQ(mwu.probabilities()[2], 1.0);
+}
+
+}  // namespace
+}  // namespace mwr::core

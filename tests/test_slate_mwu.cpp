@@ -1,0 +1,149 @@
+// Unit tests for core/slate_mwu: slate sizing, the gamma exploration floor,
+// update locality, and convergence against the capped maximum.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/slate_mwu.hpp"
+
+namespace mwr::core {
+namespace {
+
+MwuConfig config_for(std::size_t k, double gamma = 0.05) {
+  MwuConfig config;
+  config.num_options = k;
+  config.exploration = gamma;
+  return config;
+}
+
+TEST(SlateMwu, SlateSizeTracksGammaTimesK) {
+  EXPECT_EQ(SlateMwu::slate_size_for(100, 0.05), 5u);
+  EXPECT_EQ(SlateMwu::slate_size_for(1000, 0.05), 50u);
+  EXPECT_EQ(SlateMwu::slate_size_for(10, 0.05), 1u);   // floor at 1
+  EXPECT_EQ(SlateMwu::slate_size_for(4, 1.0), 4u);     // ceiling at k
+}
+
+TEST(SlateMwu, RejectsBadConfiguration) {
+  EXPECT_THROW(SlateMwu(config_for(0)), std::invalid_argument);
+  EXPECT_THROW(SlateMwu(config_for(8, 0.0)), std::invalid_argument);
+  EXPECT_THROW(SlateMwu(config_for(8, 1.5)), std::invalid_argument);
+  auto bad_eta = config_for(8);
+  bad_eta.learning_rate = 0.9;
+  EXPECT_THROW(SlateMwu{bad_eta}, std::invalid_argument);
+}
+
+TEST(SlateMwu, CpusPerCycleEqualsSlateSize) {
+  SlateMwu mwu(config_for(200, 0.05));
+  EXPECT_EQ(mwu.slate_size(), 10u);
+  EXPECT_EQ(mwu.cpus_per_cycle(), 10u);
+}
+
+TEST(SlateMwu, SampleReturnsDistinctSlate) {
+  SlateMwu mwu(config_for(40, 0.1));
+  util::RngStream rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto slate = mwu.sample(rng);
+    ASSERT_EQ(slate.size(), 4u);
+    const std::set<std::size_t> unique(slate.begin(), slate.end());
+    EXPECT_EQ(unique.size(), slate.size());
+  }
+}
+
+TEST(SlateMwu, ExplorationFloorsEveryProbability) {
+  SlateMwu mwu(config_for(20, 0.1));
+  util::RngStream rng(2);
+  // Drive weights heavily toward option 0.
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const auto slate = mwu.sample(rng);
+    std::vector<double> rewards(slate.size(), 0.0);
+    for (std::size_t j = 0; j < slate.size(); ++j) {
+      if (slate[j] == 0) rewards[j] = 1.0;
+    }
+    mwu.update(slate, rewards, rng);
+  }
+  const double floor = 0.1 / 20.0;
+  for (const double p : mwu.probabilities()) {
+    EXPECT_GE(p, floor - 1e-12);
+  }
+}
+
+TEST(SlateMwu, MaxAchievableProbabilityFormula) {
+  SlateMwu mwu(config_for(20, 0.1));
+  EXPECT_DOUBLE_EQ(mwu.max_achievable_probability(), 0.9 + 0.1 / 20.0);
+}
+
+TEST(SlateMwu, OnlySlateMembersGainWeight) {
+  SlateMwu mwu(config_for(10, 0.2));  // slate of 2
+  util::RngStream rng(3);
+  const std::vector<std::size_t> slate = {4, 7};
+  const std::vector<double> rewards = {1.0, 0.0};
+  const auto before = mwu.probabilities();
+  mwu.update(slate, rewards, rng);
+  const auto after = mwu.probabilities();
+  EXPECT_GT(after[4], before[4]);
+  // Non-rewarded and non-slate options lose relative probability equally.
+  EXPECT_NEAR(after[7] / after[0], 1.0, 1e-9);
+}
+
+TEST(SlateMwu, UpdateRejectsSizeMismatch) {
+  SlateMwu mwu(config_for(10, 0.2));
+  util::RngStream rng(4);
+  EXPECT_THROW(mwu.update(std::vector<std::size_t>{1},
+                          std::vector<double>{1.0, 0.0}, rng),
+               std::invalid_argument);
+}
+
+TEST(SlateMwu, ProbabilitiesFormASimplex) {
+  SlateMwu mwu(config_for(30, 0.1));
+  util::RngStream rng(5);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const auto slate = mwu.sample(rng);
+    std::vector<double> rewards(slate.size());
+    for (auto& r : rewards) r = rng.bernoulli(0.4) ? 1.0 : 0.0;
+    mwu.update(slate, rewards, rng);
+    const auto p = mwu.probabilities();
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(SlateMwu, ConvergesOnDominantOptionEventually) {
+  auto config = config_for(10, 0.2);
+  config.learning_rate = 0.2;  // speed the test up
+  SlateMwu mwu(config);
+  util::RngStream rng(6);
+  OptionSet options("easy", {0.05, 0.05, 0.05, 0.05, 0.9, 0.05, 0.05, 0.05,
+                             0.05, 0.05});
+  BernoulliOracle oracle(options);
+  bool converged = false;
+  for (int cycle = 0; cycle < 5000 && !converged; ++cycle) {
+    const auto slate = mwu.sample(rng);
+    std::vector<double> rewards(slate.size());
+    for (std::size_t j = 0; j < slate.size(); ++j) {
+      rewards[j] = oracle.sample(slate[j], rng);
+    }
+    mwu.update(slate, rewards, rng);
+    converged = mwu.converged();
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_EQ(mwu.best_option(), 4u);
+}
+
+TEST(SlateMwu, InitResets) {
+  SlateMwu mwu(config_for(10, 0.2));
+  util::RngStream rng(7);
+  mwu.update(std::vector<std::size_t>{0, 1}, std::vector<double>{1.0, 1.0},
+             rng);
+  mwu.init();
+  const auto p = mwu.probabilities();
+  for (const double v : p) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(SlateMwu, KindIsSlate) {
+  SlateMwu mwu(config_for(4, 0.5));
+  EXPECT_EQ(mwu.kind(), MwuKind::kSlate);
+}
+
+}  // namespace
+}  // namespace mwr::core

@@ -1,0 +1,167 @@
+// Unit + property tests for core/slate_projection: the capping fixpoint,
+// the O(k^2) convex decomposition, and the systematic sampler — the
+// machinery behind the paper's Slate variant (§II-C: decomposing the capped
+// weight vector into a convex combination of slates).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/slate_projection.hpp"
+
+namespace mwr::core {
+namespace {
+
+std::vector<double> normalized_random(std::size_t k, std::uint64_t seed) {
+  util::RngStream rng(seed);
+  std::vector<double> p(k);
+  double total = 0.0;
+  for (auto& v : p) total += (v = rng.uniform() + 1e-6);
+  for (auto& v : p) v /= total;
+  return p;
+}
+
+TEST(CapToSlateMarginals, UniformDistributionScalesExactly) {
+  const std::vector<double> p(10, 0.1);
+  const auto q = cap_to_slate_marginals(p, 3);
+  for (const double v : q) EXPECT_NEAR(v, 0.3, 1e-12);
+}
+
+TEST(CapToSlateMarginals, CapsDominantEntryAtOne) {
+  const std::vector<double> p = {0.97, 0.01, 0.01, 0.01};
+  const auto q = cap_to_slate_marginals(p, 2);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+  // Remaining mass (1 slot) spread proportionally over the rest.
+  EXPECT_NEAR(q[1] + q[2] + q[3], 1.0, 1e-9);
+  EXPECT_NEAR(q[1], 1.0 / 3.0, 1e-9);
+}
+
+TEST(CapToSlateMarginals, SlateEqualsKSelectsEverything) {
+  const auto p = normalized_random(6, 1);
+  const auto q = cap_to_slate_marginals(p, 6);
+  for (const double v : q) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(CapToSlateMarginals, RejectsBadSlateSize) {
+  const std::vector<double> p = {0.5, 0.5};
+  EXPECT_THROW(cap_to_slate_marginals(p, 0), std::invalid_argument);
+  EXPECT_THROW(cap_to_slate_marginals(p, 3), std::invalid_argument);
+}
+
+TEST(CapToSlateMarginals, CascadingCaps) {
+  // Two heavy entries both need capping once the first is capped.
+  const std::vector<double> p = {0.46, 0.44, 0.05, 0.05};
+  const auto q = cap_to_slate_marginals(p, 3);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+  EXPECT_DOUBLE_EQ(q[1], 1.0);
+  EXPECT_NEAR(q[2] + q[3], 1.0, 1e-9);
+  EXPECT_NEAR(q[2], 0.5, 1e-9);
+}
+
+TEST(DecomposeIntoSlates, RejectsInfeasibleInput) {
+  EXPECT_THROW(decompose_into_slates(std::vector<double>{0.5, 0.5}, 3),
+               std::invalid_argument);
+  // Sum != slate size.
+  EXPECT_THROW(decompose_into_slates(std::vector<double>{0.2, 0.2}, 1),
+               std::invalid_argument);
+  // Entry above 1.
+  EXPECT_THROW(decompose_into_slates(std::vector<double>{1.5, 0.5}, 2),
+               std::invalid_argument);
+}
+
+TEST(DecomposeIntoSlates, IntegralInputIsASingleSlate) {
+  const std::vector<double> q = {1.0, 0.0, 1.0, 0.0};
+  const auto components = decompose_into_slates(q, 2);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_NEAR(components[0].coefficient, 1.0, 1e-9);
+  EXPECT_EQ(components[0].members, (std::vector<std::size_t>{0, 2}));
+}
+
+// The decomposition's defining property: coefficients sum to 1, every
+// component is a distinct s-subset, and the mixture reproduces q exactly.
+class DecompositionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DecompositionSweep, MixtureReproducesMarginals) {
+  const auto [k, slate] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto p = normalized_random(k, seed);
+    const auto q = cap_to_slate_marginals(p, slate);
+    const auto components = decompose_into_slates(q, slate);
+
+    double coefficient_sum = 0.0;
+    std::vector<double> reconstructed(k, 0.0);
+    for (const auto& component : components) {
+      EXPECT_GT(component.coefficient, 0.0);
+      ASSERT_EQ(component.members.size(), slate);
+      const std::set<std::size_t> unique(component.members.begin(),
+                                         component.members.end());
+      EXPECT_EQ(unique.size(), slate) << "slate members must be distinct";
+      coefficient_sum += component.coefficient;
+      for (const std::size_t i : component.members) {
+        reconstructed[i] += component.coefficient;
+      }
+    }
+    EXPECT_NEAR(coefficient_sum, 1.0, 1e-6);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(reconstructed[i], q[i], 1e-6) << "option " << i;
+    }
+    // O(k^2)-ish component count: at most ~2k components.
+    EXPECT_LE(components.size(), 2 * k + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompositionSweep,
+    ::testing::Values(std::make_tuple(4, 1), std::make_tuple(8, 2),
+                      std::make_tuple(16, 3), std::make_tuple(32, 8),
+                      std::make_tuple(64, 5), std::make_tuple(100, 25)));
+
+TEST(SystematicSample, AlwaysReturnsExactlySlateDistinctIndices) {
+  util::RngStream rng(3);
+  const auto p = normalized_random(50, 4);
+  const auto q = cap_to_slate_marginals(p, 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto slate = systematic_sample(q, 7, rng);
+    ASSERT_EQ(slate.size(), 7u);
+    const std::set<std::size_t> unique(slate.begin(), slate.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (const auto i : slate) EXPECT_LT(i, 50u);
+  }
+}
+
+TEST(SystematicSample, RejectsBadSlateSize) {
+  util::RngStream rng(5);
+  const std::vector<double> q = {1.0, 1.0};
+  EXPECT_THROW(systematic_sample(q, 0, rng), std::invalid_argument);
+  EXPECT_THROW(systematic_sample(q, 3, rng), std::invalid_argument);
+}
+
+TEST(SystematicSample, CappedEntryIsAlwaysSelected) {
+  util::RngStream rng(6);
+  const std::vector<double> p = {0.97, 0.01, 0.01, 0.01};
+  const auto q = cap_to_slate_marginals(p, 2);  // q[0] == 1
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto slate = systematic_sample(q, 2, rng);
+    EXPECT_NE(std::find(slate.begin(), slate.end(), 0u), slate.end());
+  }
+}
+
+TEST(SystematicSample, InclusionFrequenciesMatchMarginals) {
+  util::RngStream rng(7);
+  const auto p = normalized_random(12, 8);
+  constexpr std::size_t kSlate = 4;
+  const auto q = cap_to_slate_marginals(p, kSlate);
+  std::vector<int> counts(12, 0);
+  constexpr int kTrials = 50000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (const auto i : systematic_sample(q, kSlate, rng)) ++counts[i];
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kTrials, q[i], 0.02)
+        << "option " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mwr::core

@@ -1,0 +1,159 @@
+// Unit tests for core/standard_mwu: configuration contracts, the
+// sample/update protocol, weight invariants, and convergence behavior.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/standard_mwu.hpp"
+
+namespace mwr::core {
+namespace {
+
+MwuConfig config_for(std::size_t k, std::size_t agents = 16) {
+  MwuConfig config;
+  config.num_options = k;
+  config.num_agents = agents;
+  return config;
+}
+
+TEST(StandardMwu, RejectsBadConfiguration) {
+  EXPECT_THROW(StandardMwu(config_for(0)), std::invalid_argument);
+  EXPECT_THROW(StandardMwu(config_for(4, 0)), std::invalid_argument);
+  auto bad_eta = config_for(4);
+  bad_eta.learning_rate = 0.6;  // eta must be <= 1/2
+  EXPECT_THROW(StandardMwu{bad_eta}, std::invalid_argument);
+  bad_eta.learning_rate = 0.0;
+  EXPECT_THROW(StandardMwu{bad_eta}, std::invalid_argument);
+}
+
+TEST(StandardMwu, InitialDistributionIsUniform) {
+  StandardMwu mwu(config_for(5));
+  const auto p = mwu.probabilities();
+  ASSERT_EQ(p.size(), 5u);
+  for (const double v : p) EXPECT_DOUBLE_EQ(v, 0.2);
+  EXPECT_FALSE(mwu.converged());
+}
+
+TEST(StandardMwu, SampleReturnsOneOptionPerAgent) {
+  StandardMwu mwu(config_for(8, 12));
+  util::RngStream rng(1);
+  const auto probes = mwu.sample(rng);
+  EXPECT_EQ(probes.size(), 12u);
+  EXPECT_EQ(mwu.cpus_per_cycle(), 12u);
+  for (const auto o : probes) EXPECT_LT(o, 8u);
+}
+
+TEST(StandardMwu, RewardRaisesProbability) {
+  StandardMwu mwu(config_for(4, 4));
+  util::RngStream rng(2);
+  const std::vector<std::size_t> options = {2, 2, 0, 1};
+  const std::vector<double> rewards = {1.0, 1.0, 0.0, 0.0};
+  mwu.update(options, rewards, rng);
+  const auto p = mwu.probabilities();
+  EXPECT_GT(p[2], p[0]);
+  EXPECT_GT(p[2], 0.25);
+  EXPECT_EQ(mwu.best_option(), 2u);
+}
+
+TEST(StandardMwu, ZeroRewardsLeaveDistributionUnchanged) {
+  StandardMwu mwu(config_for(4, 4));
+  util::RngStream rng(3);
+  const std::vector<std::size_t> options = {0, 1, 2, 3};
+  const std::vector<double> rewards = {0.0, 0.0, 0.0, 0.0};
+  mwu.update(options, rewards, rng);
+  for (const double v : mwu.probabilities()) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(StandardMwu, UpdateRejectsSizeMismatch) {
+  StandardMwu mwu(config_for(4, 4));
+  util::RngStream rng(4);
+  const std::vector<std::size_t> options = {0, 1};
+  const std::vector<double> rewards = {1.0};
+  EXPECT_THROW(mwu.update(options, rewards, rng), std::invalid_argument);
+}
+
+TEST(StandardMwu, ProbabilitiesAlwaysFormASimplex) {
+  StandardMwu mwu(config_for(16, 8));
+  util::RngStream rng(5);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const auto probes = mwu.sample(rng);
+    std::vector<double> rewards(probes.size());
+    for (auto& r : rewards) r = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    mwu.update(probes, rewards, rng);
+    const auto p = mwu.probabilities();
+    const double total = std::accumulate(p.begin(), p.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (const double v : p) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(StandardMwu, WeightsStayBoundedOverLongRuns) {
+  // The max-renormalization must keep weights in [0, 1] indefinitely.
+  StandardMwu mwu(config_for(4, 8));
+  util::RngStream rng(6);
+  for (int cycle = 0; cycle < 5000; ++cycle) {
+    const auto probes = mwu.sample(rng);
+    std::vector<double> rewards(probes.size(), 1.0);
+    mwu.update(probes, rewards, rng);
+  }
+  for (const double w : mwu.weights()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(StandardMwu, InitResetsState) {
+  StandardMwu mwu(config_for(4, 4));
+  util::RngStream rng(7);
+  mwu.update(std::vector<std::size_t>{0, 0, 0, 0},
+             std::vector<double>{1, 1, 1, 1}, rng);
+  EXPECT_GT(mwu.probabilities()[0], 0.25);
+  mwu.init();
+  for (const double v : mwu.probabilities()) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(StandardMwu, ApplyRewardCountsMatchesUpdate) {
+  StandardMwu a(config_for(4, 4));
+  StandardMwu b(config_for(4, 4));
+  util::RngStream rng(8);
+  a.update(std::vector<std::size_t>{1, 1, 3, 0},
+           std::vector<double>{1, 1, 1, 0}, rng);
+  b.apply_reward_counts(std::vector<double>{0, 2, 0, 1});
+  const auto pa = a.probabilities();
+  const auto pb = b.probabilities();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+TEST(StandardMwu, ApplyRewardCountsRejectsWrongWidth) {
+  StandardMwu mwu(config_for(4, 4));
+  EXPECT_THROW(mwu.apply_reward_counts(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(StandardMwu, ConvergesOnDominantOption) {
+  auto config = config_for(8, 16);
+  StandardMwu mwu(config);
+  util::RngStream rng(9);
+  OptionSet options("easy", {0.1, 0.1, 0.1, 0.95, 0.1, 0.1, 0.1, 0.1});
+  BernoulliOracle oracle(options);
+  bool converged = false;
+  for (int cycle = 0; cycle < 2000 && !converged; ++cycle) {
+    const auto probes = mwu.sample(rng);
+    std::vector<double> rewards(probes.size());
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      rewards[j] = oracle.sample(probes[j], rng);
+    }
+    mwu.update(probes, rewards, rng);
+    converged = mwu.converged();
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_EQ(mwu.best_option(), 3u);
+}
+
+TEST(StandardMwu, KindIsStandard) {
+  StandardMwu mwu(config_for(2));
+  EXPECT_EQ(mwu.kind(), MwuKind::kStandard);
+}
+
+}  // namespace
+}  // namespace mwr::core

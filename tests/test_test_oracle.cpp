@@ -1,0 +1,230 @@
+// Unit tests for apr/test_oracle: the simulated test-suite semantics —
+// safety determinism, breakage, pairwise interference rates, repair
+// conditions, and cost accounting.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apr/mutation_pool.hpp"
+#include "apr/test_oracle.hpp"
+
+namespace mwr::apr {
+namespace {
+
+datasets::ScenarioSpec toy_spec() {
+  datasets::ScenarioSpec spec;
+  spec.name = "toy";
+  spec.statements = 2000;
+  spec.tests = 20;
+  spec.coverage = 0.7;
+  spec.safe_rate = 0.5;
+  spec.repair_rate = 0.05;
+  spec.optimum = 30;
+  spec.min_repair_edits = 1;
+  spec.seed = 31;
+  return spec;
+}
+
+TEST(TestOracle, RejectsTooManyTests) {
+  auto spec = toy_spec();
+  spec.tests = 65;  // bitmask model caps at 64
+  const ProgramModel program(spec);
+  EXPECT_THROW(TestOracle{program}, std::invalid_argument);
+  spec.tests = 0;
+  const ProgramModel program2(spec);
+  EXPECT_THROW(TestOracle{program2}, std::invalid_argument);
+}
+
+TEST(TestOracle, BaselinePassesAllRequiredTestsButNotBug) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  const Evaluation e = oracle.evaluate({});
+  EXPECT_EQ(e.required_passed, e.required_total);
+  EXPECT_FALSE(e.bug_test_passed);
+  EXPECT_FALSE(e.is_repair());
+  EXPECT_EQ(e.fitness(), oracle.baseline_fitness());
+}
+
+TEST(TestOracle, SafetyIsDeterministic) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Mutation m = random_mutation(program, rng);
+    EXPECT_EQ(oracle.is_safe(m), oracle.is_safe(m));
+  }
+}
+
+TEST(TestOracle, SafeRateMatchesSpec) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(2);
+  int safe = 0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    safe += oracle.is_safe(random_mutation(program, rng)) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(safe) / kSamples, 0.5, 0.03);
+}
+
+TEST(TestOracle, SingleSafeMutationPassesTheSuite) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(3);
+  int checked = 0;
+  while (checked < 50) {
+    const Mutation m = random_mutation(program, rng);
+    if (!oracle.is_safe(m)) continue;
+    const Patch patch{m};
+    const Evaluation e = oracle.evaluate(patch);
+    EXPECT_EQ(e.required_passed, e.required_total);
+    ++checked;
+  }
+}
+
+TEST(TestOracle, SingleUnsafeMutationFailsAtLeastOneTest) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(4);
+  int checked = 0;
+  while (checked < 50) {
+    const Mutation m = random_mutation(program, rng);
+    if (oracle.is_safe(m)) continue;
+    const Patch patch{m};
+    const Evaluation e = oracle.evaluate(patch);
+    EXPECT_LT(e.required_passed, e.required_total);
+    ++checked;
+  }
+}
+
+TEST(TestOracle, EvaluationIsDeterministic) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(5);
+  const Patch patch = random_patch(program, 12, rng);
+  const Evaluation a = oracle.evaluate(patch);
+  const Evaluation b = oracle.evaluate(patch);
+  EXPECT_EQ(a.required_passed, b.required_passed);
+  EXPECT_EQ(a.bug_test_passed, b.bug_test_passed);
+}
+
+TEST(TestOracle, PairwiseInterferenceMatchesCalibratedRate) {
+  // Fig 4a's mechanism: the measured pass rate of x-mutation safe patches
+  // tracks (1-q)^C(x,2).
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  PoolConfig pool_config;
+  pool_config.target_size = 600;
+  pool_config.seed = 6;
+  const auto pool = MutationPool::precompute(oracle, pool_config);
+  util::RngStream rng(7);
+  constexpr std::size_t kX = 30;
+  constexpr int kTrials = 800;
+  int passed = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto patch = sample_from_pool(pool.mutations(), kX, rng);
+    const auto e = oracle.evaluate(patch);
+    if (e.required_passed == e.required_total) ++passed;
+  }
+  const double expected =
+      datasets::pass_probability(kX, program.spec().interference());
+  EXPECT_NEAR(static_cast<double>(passed) / kTrials, expected, 0.06);
+}
+
+TEST(TestOracle, RepairRequiresRelevantMutationAndCleanSuite) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(8);
+  // Find a repair-relevant mutation; alone it must be a full repair.
+  int found = 0;
+  for (int i = 0; i < 200000 && found < 5; ++i) {
+    const Mutation m = random_mutation(program, rng);
+    if (!oracle.is_repair_relevant(m)) continue;
+    ++found;
+    const Patch patch{m};
+    const Evaluation e = oracle.evaluate(patch);
+    EXPECT_TRUE(e.bug_test_passed);
+    EXPECT_TRUE(e.is_repair());
+    EXPECT_EQ(e.fitness(), oracle.baseline_fitness() + 1);
+  }
+  EXPECT_EQ(found, 5);
+}
+
+TEST(TestOracle, MultiEditScenarioNeedsTwoRelevantMutations) {
+  auto spec = toy_spec();
+  spec.min_repair_edits = 2;
+  const ProgramModel program(spec);
+  const TestOracle oracle(program);
+  util::RngStream rng(9);
+  std::vector<Mutation> relevant;
+  for (int i = 0; i < 400000 && relevant.size() < 2; ++i) {
+    const Mutation m = random_mutation(program, rng);
+    if (oracle.is_repair_relevant(m) &&
+        (relevant.empty() || relevant[0].key() != m.key())) {
+      relevant.push_back(m);
+    }
+  }
+  ASSERT_EQ(relevant.size(), 2u);
+  const Patch single{relevant[0]};
+  EXPECT_FALSE(oracle.evaluate(single).bug_test_passed);
+  Patch both = {relevant[0], relevant[1]};
+  canonicalize(both);
+  EXPECT_TRUE(oracle.evaluate(both).bug_test_passed);
+}
+
+TEST(TestOracle, RelevantMutationsAreSafe) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(10);
+  for (int i = 0; i < 50000; ++i) {
+    const Mutation m = random_mutation(program, rng);
+    if (oracle.is_repair_relevant(m)) {
+      EXPECT_TRUE(oracle.is_safe(m));
+    }
+  }
+}
+
+TEST(TestOracle, SuiteRunsAreCounted) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(11);
+  EXPECT_EQ(oracle.suite_runs(), 0u);
+  const Patch patch = random_patch(program, 3, rng);
+  for (int i = 0; i < 9; ++i) (void)oracle.evaluate(patch);
+  EXPECT_EQ(oracle.suite_runs(), 9u);
+  // Introspection does not count.
+  (void)oracle.is_safe(patch[0]);
+  EXPECT_EQ(oracle.suite_runs(), 9u);
+}
+
+TEST(TestOracle, CountingIsThreadSafe) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&oracle, &program, t] {
+      util::RngStream rng(20 + t);
+      for (int i = 0; i < 500; ++i) {
+        const Patch patch = random_patch(program, 2, rng);
+        (void)oracle.evaluate(patch);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(oracle.suite_runs(), 2000u);
+}
+
+TEST(TestOracle, FitnessNeverExceedsTestsPlusBug) {
+  const ProgramModel program(toy_spec());
+  const TestOracle oracle(program);
+  util::RngStream rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const Patch patch = random_patch(program, 1 + i % 20, rng);
+    const Evaluation e = oracle.evaluate(patch);
+    EXPECT_LE(e.fitness(), oracle.required_tests() + 1);
+    EXPECT_LE(e.required_passed, e.required_total);
+  }
+}
+
+}  // namespace
+}  // namespace mwr::apr
