@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fault_localization.dir/bench_ablation_fault_localization.cpp.o"
+  "CMakeFiles/bench_ablation_fault_localization.dir/bench_ablation_fault_localization.cpp.o.d"
+  "bench_ablation_fault_localization"
+  "bench_ablation_fault_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fault_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

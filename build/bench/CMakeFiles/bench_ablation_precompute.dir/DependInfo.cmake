@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_precompute.cpp" "bench/CMakeFiles/bench_ablation_precompute.dir/bench_ablation_precompute.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_precompute.dir/bench_ablation_precompute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/mwr_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/apr/CMakeFiles/mwr_apr.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mwr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/mwr_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mwr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costmodel_recommendations.dir/bench_costmodel_recommendations.cpp.o"
+  "CMakeFiles/bench_costmodel_recommendations.dir/bench_costmodel_recommendations.cpp.o.d"
+  "bench_costmodel_recommendations"
+  "bench_costmodel_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costmodel_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4b_repair_density.
+# This may be replaced when dependencies are built.

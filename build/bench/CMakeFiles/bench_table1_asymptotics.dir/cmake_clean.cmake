@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_asymptotics.dir/bench_table1_asymptotics.cpp.o"
+  "CMakeFiles/bench_table1_asymptotics.dir/bench_table1_asymptotics.cpp.o.d"
+  "bench_table1_asymptotics"
+  "bench_table1_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_agents.dir/distributed_agents.cpp.o"
+  "CMakeFiles/distributed_agents.dir/distributed_agents.cpp.o.d"
+  "distributed_agents"
+  "distributed_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

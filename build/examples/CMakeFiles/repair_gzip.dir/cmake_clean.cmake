@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_gzip.dir/repair_gzip.cpp.o"
+  "CMakeFiles/repair_gzip.dir/repair_gzip.cpp.o.d"
+  "repair_gzip"
+  "repair_gzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_gzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_tool.dir/repair_tool.cpp.o"
+  "CMakeFiles/repair_tool.dir/repair_tool.cpp.o.d"
+  "repair_tool"
+  "repair_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apr/campaign.cpp" "src/apr/CMakeFiles/mwr_apr.dir/campaign.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/campaign.cpp.o.d"
+  "/root/repo/src/apr/fault_localization.cpp" "src/apr/CMakeFiles/mwr_apr.dir/fault_localization.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/fault_localization.cpp.o.d"
+  "/root/repo/src/apr/mutation.cpp" "src/apr/CMakeFiles/mwr_apr.dir/mutation.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/mutation.cpp.o.d"
+  "/root/repo/src/apr/mutation_pool.cpp" "src/apr/CMakeFiles/mwr_apr.dir/mutation_pool.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/mutation_pool.cpp.o.d"
+  "/root/repo/src/apr/mwrepair.cpp" "src/apr/CMakeFiles/mwr_apr.dir/mwrepair.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/mwrepair.cpp.o.d"
+  "/root/repo/src/apr/program.cpp" "src/apr/CMakeFiles/mwr_apr.dir/program.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/program.cpp.o.d"
+  "/root/repo/src/apr/test_oracle.cpp" "src/apr/CMakeFiles/mwr_apr.dir/test_oracle.cpp.o" "gcc" "src/apr/CMakeFiles/mwr_apr.dir/test_oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/mwr_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mwr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

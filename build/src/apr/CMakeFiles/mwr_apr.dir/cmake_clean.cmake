@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_apr.dir/campaign.cpp.o"
+  "CMakeFiles/mwr_apr.dir/campaign.cpp.o.d"
+  "CMakeFiles/mwr_apr.dir/fault_localization.cpp.o"
+  "CMakeFiles/mwr_apr.dir/fault_localization.cpp.o.d"
+  "CMakeFiles/mwr_apr.dir/mutation.cpp.o"
+  "CMakeFiles/mwr_apr.dir/mutation.cpp.o.d"
+  "CMakeFiles/mwr_apr.dir/mutation_pool.cpp.o"
+  "CMakeFiles/mwr_apr.dir/mutation_pool.cpp.o.d"
+  "CMakeFiles/mwr_apr.dir/mwrepair.cpp.o"
+  "CMakeFiles/mwr_apr.dir/mwrepair.cpp.o.d"
+  "CMakeFiles/mwr_apr.dir/program.cpp.o"
+  "CMakeFiles/mwr_apr.dir/program.cpp.o.d"
+  "CMakeFiles/mwr_apr.dir/test_oracle.cpp.o"
+  "CMakeFiles/mwr_apr.dir/test_oracle.cpp.o.d"
+  "libmwr_apr.a"
+  "libmwr_apr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_apr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mwr_apr.
+# This may be replaced when dependencies are built.

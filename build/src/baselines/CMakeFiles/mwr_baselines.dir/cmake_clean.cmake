@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_baselines.dir/ae.cpp.o"
+  "CMakeFiles/mwr_baselines.dir/ae.cpp.o.d"
+  "CMakeFiles/mwr_baselines.dir/comparison.cpp.o"
+  "CMakeFiles/mwr_baselines.dir/comparison.cpp.o.d"
+  "CMakeFiles/mwr_baselines.dir/genprog.cpp.o"
+  "CMakeFiles/mwr_baselines.dir/genprog.cpp.o.d"
+  "CMakeFiles/mwr_baselines.dir/island_ga.cpp.o"
+  "CMakeFiles/mwr_baselines.dir/island_ga.cpp.o.d"
+  "CMakeFiles/mwr_baselines.dir/rsrepair.cpp.o"
+  "CMakeFiles/mwr_baselines.dir/rsrepair.cpp.o.d"
+  "libmwr_baselines.a"
+  "libmwr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed_mwu.cpp" "src/core/CMakeFiles/mwr_core.dir/distributed_mwu.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/distributed_mwu.cpp.o.d"
+  "/root/repo/src/core/exp3_mwu.cpp" "src/core/CMakeFiles/mwr_core.dir/exp3_mwu.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/exp3_mwu.cpp.o.d"
+  "/root/repo/src/core/mwu.cpp" "src/core/CMakeFiles/mwr_core.dir/mwu.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/mwu.cpp.o.d"
+  "/root/repo/src/core/option_set.cpp" "src/core/CMakeFiles/mwr_core.dir/option_set.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/option_set.cpp.o.d"
+  "/root/repo/src/core/parallel_driver.cpp" "src/core/CMakeFiles/mwr_core.dir/parallel_driver.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/parallel_driver.cpp.o.d"
+  "/root/repo/src/core/regret.cpp" "src/core/CMakeFiles/mwr_core.dir/regret.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/regret.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/mwr_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/slate_mwu.cpp" "src/core/CMakeFiles/mwr_core.dir/slate_mwu.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/slate_mwu.cpp.o.d"
+  "/root/repo/src/core/slate_projection.cpp" "src/core/CMakeFiles/mwr_core.dir/slate_projection.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/slate_projection.cpp.o.d"
+  "/root/repo/src/core/standard_mwu.cpp" "src/core/CMakeFiles/mwr_core.dir/standard_mwu.cpp.o" "gcc" "src/core/CMakeFiles/mwr_core.dir/standard_mwu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mwr_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_core.dir/distributed_mwu.cpp.o"
+  "CMakeFiles/mwr_core.dir/distributed_mwu.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/exp3_mwu.cpp.o"
+  "CMakeFiles/mwr_core.dir/exp3_mwu.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/mwu.cpp.o"
+  "CMakeFiles/mwr_core.dir/mwu.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/option_set.cpp.o"
+  "CMakeFiles/mwr_core.dir/option_set.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/parallel_driver.cpp.o"
+  "CMakeFiles/mwr_core.dir/parallel_driver.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/regret.cpp.o"
+  "CMakeFiles/mwr_core.dir/regret.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/serialization.cpp.o"
+  "CMakeFiles/mwr_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/slate_mwu.cpp.o"
+  "CMakeFiles/mwr_core.dir/slate_mwu.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/slate_projection.cpp.o"
+  "CMakeFiles/mwr_core.dir/slate_projection.cpp.o.d"
+  "CMakeFiles/mwr_core.dir/standard_mwu.cpp.o"
+  "CMakeFiles/mwr_core.dir/standard_mwu.cpp.o.d"
+  "libmwr_core.a"
+  "libmwr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

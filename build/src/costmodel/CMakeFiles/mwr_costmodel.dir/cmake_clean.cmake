@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_costmodel.dir/asymptotics.cpp.o"
+  "CMakeFiles/mwr_costmodel.dir/asymptotics.cpp.o.d"
+  "CMakeFiles/mwr_costmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/mwr_costmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mwr_costmodel.dir/evaluation.cpp.o"
+  "CMakeFiles/mwr_costmodel.dir/evaluation.cpp.o.d"
+  "libmwr_costmodel.a"
+  "libmwr_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

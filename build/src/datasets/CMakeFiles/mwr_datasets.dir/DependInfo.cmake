@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/distributions.cpp" "src/datasets/CMakeFiles/mwr_datasets.dir/distributions.cpp.o" "gcc" "src/datasets/CMakeFiles/mwr_datasets.dir/distributions.cpp.o.d"
+  "/root/repo/src/datasets/scenario.cpp" "src/datasets/CMakeFiles/mwr_datasets.dir/scenario.cpp.o" "gcc" "src/datasets/CMakeFiles/mwr_datasets.dir/scenario.cpp.o.d"
+  "/root/repo/src/datasets/suite.cpp" "src/datasets/CMakeFiles/mwr_datasets.dir/suite.cpp.o" "gcc" "src/datasets/CMakeFiles/mwr_datasets.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mwr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

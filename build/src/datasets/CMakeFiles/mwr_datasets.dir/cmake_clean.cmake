@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_datasets.dir/distributions.cpp.o"
+  "CMakeFiles/mwr_datasets.dir/distributions.cpp.o.d"
+  "CMakeFiles/mwr_datasets.dir/scenario.cpp.o"
+  "CMakeFiles/mwr_datasets.dir/scenario.cpp.o.d"
+  "CMakeFiles/mwr_datasets.dir/suite.cpp.o"
+  "CMakeFiles/mwr_datasets.dir/suite.cpp.o.d"
+  "libmwr_datasets.a"
+  "libmwr_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

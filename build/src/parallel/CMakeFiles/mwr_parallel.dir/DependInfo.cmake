@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/barrier.cpp" "src/parallel/CMakeFiles/mwr_parallel.dir/barrier.cpp.o" "gcc" "src/parallel/CMakeFiles/mwr_parallel.dir/barrier.cpp.o.d"
+  "/root/repo/src/parallel/comm.cpp" "src/parallel/CMakeFiles/mwr_parallel.dir/comm.cpp.o" "gcc" "src/parallel/CMakeFiles/mwr_parallel.dir/comm.cpp.o.d"
+  "/root/repo/src/parallel/congestion.cpp" "src/parallel/CMakeFiles/mwr_parallel.dir/congestion.cpp.o" "gcc" "src/parallel/CMakeFiles/mwr_parallel.dir/congestion.cpp.o.d"
+  "/root/repo/src/parallel/mailbox.cpp" "src/parallel/CMakeFiles/mwr_parallel.dir/mailbox.cpp.o" "gcc" "src/parallel/CMakeFiles/mwr_parallel.dir/mailbox.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/mwr_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/mwr_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

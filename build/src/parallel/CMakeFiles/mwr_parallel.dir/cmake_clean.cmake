@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_parallel.dir/barrier.cpp.o"
+  "CMakeFiles/mwr_parallel.dir/barrier.cpp.o.d"
+  "CMakeFiles/mwr_parallel.dir/comm.cpp.o"
+  "CMakeFiles/mwr_parallel.dir/comm.cpp.o.d"
+  "CMakeFiles/mwr_parallel.dir/congestion.cpp.o"
+  "CMakeFiles/mwr_parallel.dir/congestion.cpp.o.d"
+  "CMakeFiles/mwr_parallel.dir/mailbox.cpp.o"
+  "CMakeFiles/mwr_parallel.dir/mailbox.cpp.o.d"
+  "CMakeFiles/mwr_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/mwr_parallel.dir/thread_pool.cpp.o.d"
+  "libmwr_parallel.a"
+  "libmwr_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmwr_parallel.a"
+)

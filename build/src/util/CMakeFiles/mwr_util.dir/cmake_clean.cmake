@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_util.dir/cli.cpp.o"
+  "CMakeFiles/mwr_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mwr_util.dir/log.cpp.o"
+  "CMakeFiles/mwr_util.dir/log.cpp.o.d"
+  "CMakeFiles/mwr_util.dir/rng.cpp.o"
+  "CMakeFiles/mwr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mwr_util.dir/stats.cpp.o"
+  "CMakeFiles/mwr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mwr_util.dir/table.cpp.o"
+  "CMakeFiles/mwr_util.dir/table.cpp.o.d"
+  "libmwr_util.a"
+  "libmwr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

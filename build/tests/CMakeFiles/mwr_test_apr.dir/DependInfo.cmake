@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_fault_localization.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_fault_localization.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_fault_localization.cpp.o.d"
+  "/root/repo/tests/test_mutation.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_mutation.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_mutation.cpp.o.d"
+  "/root/repo/tests/test_mutation_pool.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_mutation_pool.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_mutation_pool.cpp.o.d"
+  "/root/repo/tests/test_mwrepair.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_mwrepair.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_mwrepair.cpp.o.d"
+  "/root/repo/tests/test_oracle_properties.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_oracle_properties.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_oracle_properties.cpp.o.d"
+  "/root/repo/tests/test_program_model.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_program_model.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_program_model.cpp.o.d"
+  "/root/repo/tests/test_test_oracle.cpp" "tests/CMakeFiles/mwr_test_apr.dir/test_test_oracle.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_apr.dir/test_test_oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/mwr_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/apr/CMakeFiles/mwr_apr.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mwr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/mwr_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mwr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_apr.dir/test_campaign.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_campaign.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_fault_localization.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_fault_localization.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_mutation.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_mutation.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_mutation_pool.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_mutation_pool.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_mwrepair.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_mwrepair.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_oracle_properties.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_oracle_properties.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_program_model.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_program_model.cpp.o.d"
+  "CMakeFiles/mwr_test_apr.dir/test_test_oracle.cpp.o"
+  "CMakeFiles/mwr_test_apr.dir/test_test_oracle.cpp.o.d"
+  "mwr_test_apr"
+  "mwr_test_apr.pdb"
+  "mwr_test_apr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_apr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

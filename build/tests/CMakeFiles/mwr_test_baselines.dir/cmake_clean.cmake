@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_baselines.dir/test_baselines.cpp.o"
+  "CMakeFiles/mwr_test_baselines.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/mwr_test_baselines.dir/test_comparison.cpp.o"
+  "CMakeFiles/mwr_test_baselines.dir/test_comparison.cpp.o.d"
+  "CMakeFiles/mwr_test_baselines.dir/test_island_ga.cpp.o"
+  "CMakeFiles/mwr_test_baselines.dir/test_island_ga.cpp.o.d"
+  "mwr_test_baselines"
+  "mwr_test_baselines.pdb"
+  "mwr_test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

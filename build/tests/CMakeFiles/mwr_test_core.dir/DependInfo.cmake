@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_distributed_mwu.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_distributed_mwu.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_distributed_mwu.cpp.o.d"
+  "/root/repo/tests/test_exp3.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_exp3.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_exp3.cpp.o.d"
+  "/root/repo/tests/test_full_information.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_full_information.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_full_information.cpp.o.d"
+  "/root/repo/tests/test_mwu_factory.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_mwu_factory.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_mwu_factory.cpp.o.d"
+  "/root/repo/tests/test_mwu_properties.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_mwu_properties.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_mwu_properties.cpp.o.d"
+  "/root/repo/tests/test_option_set.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_option_set.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_option_set.cpp.o.d"
+  "/root/repo/tests/test_parallel_driver.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_parallel_driver.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_parallel_driver.cpp.o.d"
+  "/root/repo/tests/test_regret.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_regret.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_regret.cpp.o.d"
+  "/root/repo/tests/test_serialization.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_serialization.cpp.o.d"
+  "/root/repo/tests/test_slate_mwu.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_slate_mwu.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_slate_mwu.cpp.o.d"
+  "/root/repo/tests/test_slate_projection.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_slate_projection.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_slate_projection.cpp.o.d"
+  "/root/repo/tests/test_standard_mwu.cpp" "tests/CMakeFiles/mwr_test_core.dir/test_standard_mwu.cpp.o" "gcc" "tests/CMakeFiles/mwr_test_core.dir/test_standard_mwu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/mwr_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/apr/CMakeFiles/mwr_apr.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mwr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/mwr_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mwr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mwr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

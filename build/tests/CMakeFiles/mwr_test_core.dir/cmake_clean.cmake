@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_core.dir/test_distributed_mwu.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_distributed_mwu.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_exp3.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_exp3.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_full_information.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_full_information.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_mwu_factory.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_mwu_factory.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_mwu_properties.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_mwu_properties.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_option_set.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_option_set.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_parallel_driver.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_parallel_driver.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_regret.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_regret.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_serialization.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_serialization.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_slate_mwu.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_slate_mwu.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_slate_projection.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_slate_projection.cpp.o.d"
+  "CMakeFiles/mwr_test_core.dir/test_standard_mwu.cpp.o"
+  "CMakeFiles/mwr_test_core.dir/test_standard_mwu.cpp.o.d"
+  "mwr_test_core"
+  "mwr_test_core.pdb"
+  "mwr_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

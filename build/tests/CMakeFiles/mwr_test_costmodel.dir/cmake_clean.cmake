@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_costmodel.dir/test_asymptotics.cpp.o"
+  "CMakeFiles/mwr_test_costmodel.dir/test_asymptotics.cpp.o.d"
+  "CMakeFiles/mwr_test_costmodel.dir/test_cost_model.cpp.o"
+  "CMakeFiles/mwr_test_costmodel.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/mwr_test_costmodel.dir/test_evaluation.cpp.o"
+  "CMakeFiles/mwr_test_costmodel.dir/test_evaluation.cpp.o.d"
+  "mwr_test_costmodel"
+  "mwr_test_costmodel.pdb"
+  "mwr_test_costmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

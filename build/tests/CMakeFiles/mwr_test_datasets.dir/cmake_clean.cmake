@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_datasets.dir/test_distributions.cpp.o"
+  "CMakeFiles/mwr_test_datasets.dir/test_distributions.cpp.o.d"
+  "CMakeFiles/mwr_test_datasets.dir/test_scenario.cpp.o"
+  "CMakeFiles/mwr_test_datasets.dir/test_scenario.cpp.o.d"
+  "CMakeFiles/mwr_test_datasets.dir/test_suite_datasets.cpp.o"
+  "CMakeFiles/mwr_test_datasets.dir/test_suite_datasets.cpp.o.d"
+  "mwr_test_datasets"
+  "mwr_test_datasets.pdb"
+  "mwr_test_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_integration.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/mwr_test_integration.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/mwr_test_integration.dir/test_integration_repair.cpp.o"
+  "CMakeFiles/mwr_test_integration.dir/test_integration_repair.cpp.o.d"
+  "CMakeFiles/mwr_test_integration.dir/test_integration_tables.cpp.o"
+  "CMakeFiles/mwr_test_integration.dir/test_integration_tables.cpp.o.d"
+  "CMakeFiles/mwr_test_integration.dir/test_umbrella_and_parallel_eval.cpp.o"
+  "CMakeFiles/mwr_test_integration.dir/test_umbrella_and_parallel_eval.cpp.o.d"
+  "mwr_test_integration"
+  "mwr_test_integration.pdb"
+  "mwr_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

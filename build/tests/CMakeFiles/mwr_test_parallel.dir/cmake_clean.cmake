@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_parallel.dir/test_barrier.cpp.o"
+  "CMakeFiles/mwr_test_parallel.dir/test_barrier.cpp.o.d"
+  "CMakeFiles/mwr_test_parallel.dir/test_comm.cpp.o"
+  "CMakeFiles/mwr_test_parallel.dir/test_comm.cpp.o.d"
+  "CMakeFiles/mwr_test_parallel.dir/test_comm_tree.cpp.o"
+  "CMakeFiles/mwr_test_parallel.dir/test_comm_tree.cpp.o.d"
+  "CMakeFiles/mwr_test_parallel.dir/test_congestion.cpp.o"
+  "CMakeFiles/mwr_test_parallel.dir/test_congestion.cpp.o.d"
+  "CMakeFiles/mwr_test_parallel.dir/test_mailbox.cpp.o"
+  "CMakeFiles/mwr_test_parallel.dir/test_mailbox.cpp.o.d"
+  "CMakeFiles/mwr_test_parallel.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/mwr_test_parallel.dir/test_thread_pool.cpp.o.d"
+  "mwr_test_parallel"
+  "mwr_test_parallel.pdb"
+  "mwr_test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

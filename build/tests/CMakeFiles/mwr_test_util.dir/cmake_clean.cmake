@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwr_test_util.dir/test_cli.cpp.o"
+  "CMakeFiles/mwr_test_util.dir/test_cli.cpp.o.d"
+  "CMakeFiles/mwr_test_util.dir/test_log.cpp.o"
+  "CMakeFiles/mwr_test_util.dir/test_log.cpp.o.d"
+  "CMakeFiles/mwr_test_util.dir/test_rng.cpp.o"
+  "CMakeFiles/mwr_test_util.dir/test_rng.cpp.o.d"
+  "CMakeFiles/mwr_test_util.dir/test_stats.cpp.o"
+  "CMakeFiles/mwr_test_util.dir/test_stats.cpp.o.d"
+  "CMakeFiles/mwr_test_util.dir/test_table.cpp.o"
+  "CMakeFiles/mwr_test_util.dir/test_table.cpp.o.d"
+  "CMakeFiles/mwr_test_util.dir/test_timer.cpp.o"
+  "CMakeFiles/mwr_test_util.dir/test_timer.cpp.o.d"
+  "mwr_test_util"
+  "mwr_test_util.pdb"
+  "mwr_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwr_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mwr_test_util[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_core[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_apr[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_costmodel[1]_include.cmake")
+include("/root/repo/build/tests/mwr_test_integration[1]_include.cmake")
