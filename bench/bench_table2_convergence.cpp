@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   util::Cli cli("bench_table2_convergence — Table II, update cycles to "
                 "convergence");
   util::add_standard_bench_flags(cli);
+  util::add_metrics_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   util::WallTimer timer;
@@ -34,5 +35,6 @@ int main(int argc, char** argv) {
       cli.get_string("csv"));
   std::cout << "(" << config.seeds << " seeds/cell, max size "
             << config.max_size << ", " << timer.elapsed_seconds() << "s)\n";
+  util::write_metrics_if_requested(cli);
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace mwr;
   util::Cli cli("bench_table4_cpu_cost — Table IV, CPU-iteration cost");
   util::add_standard_bench_flags(cli);
+  util::add_metrics_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   util::WallTimer timer;
@@ -28,5 +29,6 @@ int main(int argc, char** argv) {
       cli.get_string("csv"));
   std::cout << "(" << config.seeds << " seeds/cell, max size "
             << config.max_size << ", " << timer.elapsed_seconds() << "s)\n";
+  util::write_metrics_if_requested(cli);
   return 0;
 }

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   cli.add_int("eval-threads", 4, "threads for probe evaluation");
   cli.add_int("campaign", 0, "repair N sequential bugs with one shared pool");
   cli.add_int("seed", 20210525, "master seed");
+  util::add_metrics_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   apr::PoolConfig pool_config;
@@ -99,6 +100,7 @@ int main(int argc, char** argv) {
               << campaign.precompute_runs << " suite runs; amortized "
               << util::fmt_fixed(campaign.amortized_bug_cost(), 0)
               << " suite runs/bug\n";
+    util::write_metrics_if_requested(cli);
     return campaign.repaired() == campaign.bugs.size() ? 0 : 1;
   }
 
@@ -128,5 +130,6 @@ int main(int argc, char** argv) {
         run_scenario(datasets::scenario_by_name(cli.get_string("scenario")));
   }
   table.emit(std::cout);
+  util::write_metrics_if_requested(cli);
   return all_repaired ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace mwr::apr {
 
 std::size_t CampaignOutcome::repaired() const noexcept {
@@ -25,6 +27,16 @@ double CampaignOutcome::amortized_bug_cost() const noexcept {
 
 CampaignOutcome run_campaign(const datasets::ScenarioSpec& base,
                              const CampaignConfig& config) {
+  // End-of-run telemetry (exported by --metrics-out in the CLI): per-bug
+  // outcomes and wall time, plus the §III-C maintenance cost the
+  // amortization argument is about.
+  auto& metrics = obs::MetricsRegistry::global();
+  obs::Counter& bugs_attempted = metrics.counter("campaign.bugs_attempted");
+  obs::Counter& bugs_repaired = metrics.counter("campaign.bugs_repaired");
+  obs::Counter& maintenance_runs =
+      metrics.counter("campaign.maintenance_runs");
+  obs::Histogram& bug_seconds = metrics.histogram("campaign.bug_seconds");
+
   CampaignOutcome outcome;
 
   // Phase 1, once: the pool is a property of the program + current suite.
@@ -39,6 +51,8 @@ CampaignOutcome run_campaign(const datasets::ScenarioSpec& base,
     std::size_t repaired_so_far = 0;
     MutationPool working_pool = std::move(pool);
     for (std::size_t bug = 0; bug < config.bugs; ++bug) {
+      const obs::ScopedTimer bug_timer(bug_seconds);
+      bugs_attempted.add(1);
       BugOutcome record;
       record.bug_id = bug;
 
@@ -74,8 +88,12 @@ CampaignOutcome run_campaign(const datasets::ScenarioSpec& base,
         record.online_cycles = result.iterations;
         if (result.repaired) ++repaired_so_far;
       }
+      if (record.repaired) bugs_repaired.add(1);
+      maintenance_runs.add(record.maintenance_runs);
       outcome.bugs.push_back(record);
     }
+    metrics.gauge("campaign.converged")
+        .set(repaired_so_far == config.bugs ? 1.0 : 0.0);
   }
   return outcome;
 }

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mwr::apr {
 
 MutationPool MutationPool::precompute(const TestOracle& oracle,
                                       const PoolConfig& config) {
+  // Phase-1 telemetry: candidates tried vs found safe (the yield the
+  // §III-C amortization argument depends on) and precompute wall time.
+  auto& metrics = obs::MetricsRegistry::global();
+  obs::Counter& tried = metrics.counter("pool.candidates_tried");
+  obs::Counter& safe_found = metrics.counter("pool.safe_found");
+  const obs::ScopedTimer phase_timer(
+      metrics.histogram("phase.precompute.seconds"));
+
   MutationPool pool;
   std::unordered_set<std::uint64_t> seen;
   util::RngStream master(config.seed);
@@ -43,9 +52,13 @@ MutationPool MutationPool::precompute(const TestOracle& oracle,
       safe[i] = (e.required_passed == e.required_total) ? 1 : 0;
     });
     pool.attempts_ += candidates.size();
+    tried.add(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (safe[i] && pool.pool_.size() < config.target_size) {
-        pool.pool_.push_back(candidates[i]);
+      if (safe[i]) {
+        safe_found.add(1);
+        if (pool.pool_.size() < config.target_size) {
+          pool.pool_.push_back(candidates[i]);
+        }
       }
     }
   }
@@ -78,7 +91,11 @@ std::size_t MutationPool::revalidate(const TestOracle& oracle) {
     const Evaluation e = oracle.evaluate({&m, 1});
     return e.required_passed != e.required_total;
   });
-  return before - pool_.size();
+  const std::size_t dropped = before - pool_.size();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("pool.revalidation_runs").add(before);
+  metrics.counter("pool.revalidation_dropped").add(dropped);
+  return dropped;
 }
 
 }  // namespace mwr::apr

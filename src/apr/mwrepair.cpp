@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mwr::apr {
@@ -53,12 +54,24 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
   std::optional<parallel::ThreadPool> workers;
   if (config_.eval_threads > 1) workers.emplace(config_.eval_threads);
 
+  // Online-phase telemetry, the Table II/IV quantities of the actual
+  // repair search: completed cycles, suite-run probes, per-cycle wall
+  // time, and the repaired/convergence flag at exit.
+  auto& metrics = obs::MetricsRegistry::global();
+  obs::Counter& cycle_counter = metrics.counter("repair.online.cycles");
+  obs::Counter& probe_counter = metrics.counter("repair.online.probes");
+  obs::Histogram& cycle_seconds =
+      metrics.histogram("repair.online.cycle_seconds");
+  const obs::ScopedTimer phase_timer(metrics.histogram("phase.online.seconds"));
+  obs::Gauge& repaired_gauge = metrics.gauge("repair.repaired");
+
   RepairOutcome outcome;
   std::vector<double> rewards;
   std::vector<Patch> patches;
   std::vector<double> acceptance;
   std::vector<Evaluation> evaluations;
   for (std::size_t t = 0; t < config_.max_iterations; ++t) {
+    const obs::ScopedTimer cycle_timer(cycle_seconds);
     const auto probes = strategy->sample(rng);           // MWU_Sample
     patches.clear();
     acceptance.clear();
@@ -79,6 +92,7 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
       }
     }
     outcome.probes += patches.size();
+    probe_counter.add(patches.size());
 
     rewards.assign(probes.size(), 0.0);
     for (std::size_t j = 0; j < patches.size(); ++j) {
@@ -89,6 +103,8 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
         outcome.iterations = t + 1;
         outcome.preferred_count = patches[j].size();
         outcome.arm_probabilities = strategy->probabilities();
+        cycle_counter.add(1);
+        repaired_gauge.set(1.0);
         return outcome;
       }
       const bool fitness_kept = e.fitness() >= baseline;
@@ -109,9 +125,11 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
     }
     strategy->update(probes, rewards, rng);              // MWU_Update
     ++outcome.iterations;
+    cycle_counter.add(1);
   }
   outcome.preferred_count = count_for_arm(strategy->best_option());
   outcome.arm_probabilities = strategy->probabilities();
+  repaired_gauge.set(0.0);
   return outcome;  // no repair within budget (Fig 6: return null)
 }
 

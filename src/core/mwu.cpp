@@ -7,6 +7,7 @@
 #include "core/exp3_mwu.hpp"
 #include "core/slate_mwu.hpp"
 #include "core/standard_mwu.hpp"
+#include "obs/registry.hpp"
 
 namespace mwr::core {
 
@@ -56,8 +57,16 @@ MwuResult run_mwu(MwuStrategy& strategy, const CostOracle& oracle,
   MwuResult result;
   result.cpus_per_cycle = strategy.cpus_per_cycle();
 
+  // Table II counts cycles, Table IV multiplies by cpus_per_cycle; the
+  // run driver is where both quantities are born, so it reports them.
+  auto& metrics = obs::MetricsRegistry::global();
+  obs::Counter& cycle_counter = metrics.counter("mwu.cycles");
+  obs::Counter& probe_counter = metrics.counter("mwu.probes");
+  obs::Histogram& cycle_seconds = metrics.histogram("mwu.cycle_seconds");
+
   std::vector<double> rewards;
   for (std::size_t t = 0; t < config.max_iterations; ++t) {
+    const obs::ScopedTimer cycle_timer(cycle_seconds);
     const auto probes = strategy.sample(rng);
     rewards.resize(probes.size());
     for (std::size_t j = 0; j < probes.size(); ++j) {
@@ -65,6 +74,8 @@ MwuResult run_mwu(MwuStrategy& strategy, const CostOracle& oracle,
     }
     strategy.update(probes, rewards, rng);
     ++result.iterations;
+    cycle_counter.add(1);
+    probe_counter.add(probes.size());
     if (strategy.converged()) {
       result.converged = true;
       break;
@@ -73,6 +84,9 @@ MwuResult run_mwu(MwuStrategy& strategy, const CostOracle& oracle,
   result.best_option = strategy.best_option();
   result.probabilities = strategy.probabilities();
   result.evaluations = counted.evaluations();
+  metrics.gauge("mwu.converged").set(result.converged ? 1.0 : 0.0);
+  metrics.gauge("mwu.cpu_iterations").set(
+      static_cast<double>(result.cpu_iterations()));
   return result;
 }
 

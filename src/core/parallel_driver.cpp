@@ -6,10 +6,33 @@
 
 #include "core/distributed_mwu.hpp"
 #include "core/standard_mwu.hpp"
+#include "obs/registry.hpp"
 
 namespace mwr::core {
 
 namespace {
+// SPMD telemetry: total probes across ranks, the per-worker probe-count
+// distribution (each rank contributes one observation per run — skew here
+// means load imbalance), and time spent waiting in collectives (the
+// synchronized-iteration stall the paper's §III-A analysis is about).
+struct SpmdMetrics {
+  obs::Counter& cycles;
+  obs::Counter& probes;
+  obs::Histogram& worker_probes;
+  obs::Histogram& collective_wait_seconds;
+
+  explicit SpmdMetrics(const char* driver)
+      : cycles(obs::MetricsRegistry::global().counter(
+            std::string("spmd.") + driver + ".cycles")),
+        probes(obs::MetricsRegistry::global().counter(
+            std::string("spmd.") + driver + ".probes")),
+        worker_probes(obs::MetricsRegistry::global().histogram(
+            std::string("spmd.") + driver + ".worker_probes",
+            obs::Histogram::exponential_bounds(1.0, 2.0, 16))),
+        collective_wait_seconds(obs::MetricsRegistry::global().histogram(
+            std::string("spmd.") + driver + ".collective_wait_seconds")) {}
+};
+
 // User-level tags for the SPMD drivers (below the collective tag space).
 constexpr int kTagObserveRequest = 100;
 constexpr int kTagObserveReply = 101;
@@ -41,25 +64,35 @@ ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
 
   ParallelMwuResult out;
   out.result.cpus_per_cycle = n;
+  SpmdMetrics metrics("standard");
 
   world.run([&](parallel::Comm& comm) {
     util::RngStream rng(seed + 0x9e37 * static_cast<std::uint64_t>(comm.rank()));
     StandardMwu replica(rank_config);
     std::size_t iterations = 0;
+    std::uint64_t rank_probes = 0;
     bool converged = false;
     for (std::size_t t = 0; t < config.max_iterations; ++t) {
       const auto probe = replica.sample(rng);
       std::vector<double> counts(config.num_options, 0.0);
       counts[probe[0]] += counted.sample(probe[0], rng);
-      const auto total_counts = comm.allreduce_sum(std::move(counts));
+      ++rank_probes;
+      std::vector<double> total_counts;
+      {
+        const obs::ScopedTimer wait(metrics.collective_wait_seconds);
+        total_counts = comm.allreduce_sum(std::move(counts));
+      }
       replica.apply_reward_counts(total_counts);
       ++iterations;
+      if (comm.rank() == 0) metrics.cycles.add(1);
       close_cycle(comm);
       if (replica.converged()) {
         converged = true;
         break;
       }
     }
+    metrics.probes.add(rank_probes);
+    metrics.worker_probes.observe(static_cast<double>(rank_probes));
     if (comm.rank() == 0) {
       out.result.converged = converged;
       out.result.iterations = iterations;
@@ -88,6 +121,7 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
 
   ParallelMwuResult out;
   out.result.cpus_per_cycle = population;
+  SpmdMetrics metrics("distributed");
 
   world.run([&](parallel::Comm& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
@@ -96,6 +130,7 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
     std::size_t choice = rank % config.num_options;
 
     std::size_t iterations = 0;
+    std::uint64_t rank_probes = 0;
     bool converged = false;
     for (std::size_t t = 0; t < config.max_iterations; ++t) {
       // --- Sample: pick a random option, or request a random neighbor's
@@ -110,7 +145,10 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
             static_cast<int>(rng.uniform_index(world.size()));
         comm.send(neighbor, kTagObserveRequest, {});
       }
-      comm.barrier();  // all requests delivered
+      {
+        const obs::ScopedTimer wait(metrics.collective_wait_seconds);
+        comm.barrier();  // all requests delivered
+      }
 
       // --- Serve requests: reply with our current choice (bookkeeping).
       while (auto request = comm.try_recv(parallel::kAnySource,
@@ -130,6 +168,7 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
       // --- Update: evaluate the observed option once and adopt
       // stochastically (beta on success, alpha on failure).
       const bool success = counted.sample(observed, rng) > 0.0;
+      ++rank_probes;
       const double adopt_probability =
           success ? config.adopt_success : config.adopt_failure;
       if (rng.bernoulli(adopt_probability)) choice = observed;
@@ -166,12 +205,15 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
         stop = comm.recv(0, kTagContinue).payload.at(0) > 0.0;
       }
       ++iterations;
+      if (comm.rank() == 0) metrics.cycles.add(1);
       close_cycle(comm);  // close the tracked (request) congestion cycle
       if (stop) {
         converged = true;
         break;
       }
     }
+    metrics.probes.add(rank_probes);
+    metrics.worker_probes.observe(static_cast<double>(rank_probes));
     if (comm.rank() == 0) {
       out.result.converged = converged;
       out.result.iterations = iterations;

@@ -37,6 +37,9 @@
 #include "datasets/distributions.hpp" // IWYU pragma: export
 #include "datasets/scenario.hpp"      // IWYU pragma: export
 #include "datasets/suite.hpp"         // IWYU pragma: export
+#include "obs/metrics.hpp"            // IWYU pragma: export
+#include "obs/registry.hpp"           // IWYU pragma: export
+#include "obs/serialization.hpp"      // IWYU pragma: export
 #include "parallel/comm.hpp"          // IWYU pragma: export
 #include "parallel/thread_pool.hpp"   // IWYU pragma: export
 #include "util/rng.hpp"               // IWYU pragma: export

@@ -1,0 +1,74 @@
+// Process-wide metrics registry: named-metric lookup plus JSON export.
+//
+// Subsystems grab stable references to their metrics once (handles stay
+// valid for the registry's lifetime; reset() zeroes values but never
+// invalidates a handle) and mutate them lock-free on the hot path.  The
+// run harness snapshots everything at exit with to_json()/write_json(),
+// which is the machine-readable artifact the CI pipeline gates on.
+//
+// Naming convention: dot-separated "<subsystem>.<quantity>[_<unit>]",
+// e.g. "repair.online.probes", "thread_pool.queue_wait_seconds".
+// DESIGN.md §7 maps the names onto the paper's Table II/IV quantities.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/serialization.hpp"
+
+namespace mwr::obs {
+
+/// Thread-safe name -> metric map.  Lookups take a mutex (amortize them:
+/// fetch handles once, outside loops); the returned references are
+/// mutation-safe from any thread.  Counter/gauge/histogram names live in
+/// separate namespaces.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric.  References remain valid until
+  /// the registry is destroyed.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// For an existing histogram the bounds argument is ignored — the first
+  /// registration wins (concurrent users must agree on the layout).
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds);
+  /// Histogram with the default latency layout (1 microsecond to ~2
+  /// minutes, powers of 4), the layout for every *_seconds metric.
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] static std::vector<double> default_latency_bounds();
+
+  /// Zeroes every registered metric; handles stay valid.  Call between
+  /// independent runs sharing one process (bench replications, tests).
+  void reset();
+
+  /// Snapshot of every metric:
+  ///   {"schema": "mwr-metrics-v1",
+  ///    "counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"le": [bounds...], "counts": [... overflow],
+  ///                          "count": n, "sum": s, "min": m, "max": M}}}
+  [[nodiscard]] JsonValue to_json() const;
+  [[nodiscard]] std::string to_json_string() const;  ///< pretty-printed.
+  /// Writes the pretty-printed snapshot; throws std::runtime_error on I/O
+  /// failure.
+  void write_json(const std::string& path) const;
+
+  /// The process-wide registry all built-in instrumentation reports to.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mwr::obs

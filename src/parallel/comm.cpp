@@ -5,7 +5,37 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/registry.hpp"
+
 namespace mwr::parallel {
+
+namespace {
+// Communicator telemetry across every CommWorld in the process.  Tracked
+// sends are the algorithm's own messages (the congestion analysis of
+// Table I); untracked sends are harness bookkeeping and reported
+// separately so the two never blur.
+struct CommMetrics {
+  obs::Counter& messages_sent;
+  obs::Counter& messages_sent_untracked;
+  obs::Counter& congestion_cycles;
+  obs::Gauge& congestion_max_per_cycle;
+
+  CommMetrics()
+      : messages_sent(
+            obs::MetricsRegistry::global().counter("comm.messages_sent")),
+        messages_sent_untracked(obs::MetricsRegistry::global().counter(
+            "comm.messages_sent_untracked")),
+        congestion_cycles(
+            obs::MetricsRegistry::global().counter("comm.congestion_cycles")),
+        congestion_max_per_cycle(obs::MetricsRegistry::global().gauge(
+            "comm.congestion_max_per_cycle")) {}
+};
+
+CommMetrics& comm_metrics() {
+  static CommMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 int Comm::size() const noexcept { return static_cast<int>(world_->size()); }
 
@@ -13,6 +43,7 @@ void Comm::send(int destination, int tag, std::vector<double> payload) {
   auto dst = static_cast<std::size_t>(destination);
   if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
   world_->tracker_.record(dst);
+  comm_metrics().messages_sent.add(1);
   world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
 }
 
@@ -20,6 +51,7 @@ void Comm::send_untracked(int destination, int tag,
                           std::vector<double> payload) {
   auto dst = static_cast<std::size_t>(destination);
   if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
+  comm_metrics().messages_sent_untracked.add(1);
   world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
 }
 
@@ -34,7 +66,13 @@ std::optional<Message> Comm::try_recv(int source, int tag) {
 
 void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
 
-void Comm::close_congestion_cycle() { world_->tracker_.end_cycle(); }
+void Comm::close_congestion_cycle() {
+  CommMetrics& metrics = comm_metrics();
+  metrics.congestion_max_per_cycle.record_max(
+      static_cast<double>(world_->tracker_.current_max()));
+  metrics.congestion_cycles.add(1);
+  world_->tracker_.end_cycle();
+}
 
 std::vector<double> Comm::broadcast(int root, std::vector<double> payload) {
   if (rank_ == root) {

@@ -1,12 +1,38 @@
 #include "parallel/mailbox.hpp"
 
+#include "obs/registry.hpp"
+
 namespace mwr::parallel {
 
+namespace {
+// Receive-side telemetry across every mailbox in the process: deliveries
+// (successful matched takes) and the deepest backlog any single mailbox
+// accumulated — the observable face of receiver congestion.
+struct MailboxMetrics {
+  obs::Counter& messages_delivered;
+  obs::Gauge& queue_depth_hwm;
+
+  MailboxMetrics()
+      : messages_delivered(obs::MetricsRegistry::global().counter(
+            "mailbox.messages_delivered")),
+        queue_depth_hwm(obs::MetricsRegistry::global().gauge(
+            "mailbox.queue_depth_hwm")) {}
+};
+
+MailboxMetrics& mailbox_metrics() {
+  static MailboxMetrics metrics;
+  return metrics;
+}
+}  // namespace
+
 void Mailbox::push(Message message) {
+  std::size_t depth = 0;
   {
     std::scoped_lock lock(mutex_);
     queue_.push_back(std::move(message));
+    depth = queue_.size();
   }
+  mailbox_metrics().queue_depth_hwm.record_max(static_cast<double>(depth));
   cv_.notify_all();
 }
 
@@ -26,14 +52,23 @@ std::optional<Message> Mailbox::take_locked(int source, int tag) {
 Message Mailbox::recv(int source, int tag) {
   std::unique_lock lock(mutex_);
   for (;;) {
-    if (auto m = take_locked(source, tag)) return std::move(*m);
+    if (auto m = take_locked(source, tag)) {
+      lock.unlock();
+      mailbox_metrics().messages_delivered.add(1);
+      return std::move(*m);
+    }
     cv_.wait(lock);
   }
 }
 
 std::optional<Message> Mailbox::try_recv(int source, int tag) {
-  std::scoped_lock lock(mutex_);
-  return take_locked(source, tag);
+  std::optional<Message> taken;
+  {
+    std::scoped_lock lock(mutex_);
+    taken = take_locked(source, tag);
+  }
+  if (taken) mailbox_metrics().messages_delivered.add(1);
+  return taken;
 }
 
 std::size_t Mailbox::pending() const {

@@ -1,8 +1,35 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
 
 namespace mwr::parallel {
+
+namespace {
+// Pool telemetry, shared by every pool in the process: work executed,
+// how long tasks sat queued (the stall the precompute phase amortizes
+// away), and the deepest backlog seen.
+struct PoolMetrics {
+  obs::Counter& tasks_executed;
+  obs::Histogram& queue_wait_seconds;
+  obs::Gauge& queue_depth_hwm;
+
+  PoolMetrics()
+      : tasks_executed(obs::MetricsRegistry::global().counter(
+            "thread_pool.tasks_executed")),
+        queue_wait_seconds(obs::MetricsRegistry::global().histogram(
+            "thread_pool.queue_wait_seconds")),
+        queue_depth_hwm(obs::MetricsRegistry::global().gauge(
+            "thread_pool.queue_depth_hwm")) {}
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
@@ -21,9 +48,23 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  PoolMetrics& metrics = pool_metrics();
+  std::size_t depth = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+    queue_.push(Task{std::move(fn), std::chrono::steady_clock::now()});
+    depth = queue_.size();
+  }
+  metrics.queue_depth_hwm.record_max(static_cast<double>(depth));
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = pool_metrics();
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -31,7 +72,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // packaged_task captures exceptions into the future
+    metrics.queue_wait_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task.enqueued)
+            .count());
+    task.fn();  // packaged_task captures exceptions into the future
+    metrics.tasks_executed.add(1);
   }
 }
 

@@ -12,6 +12,7 @@
 //    stream, not a shared one).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -45,15 +46,9 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     std::packaged_task<R()> task(std::forward<F>(fn));
     std::future<R> result = task.get_future();
-    {
-      std::scoped_lock lock(mutex_);
-      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
-      queue_.emplace(
-          [t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
-            (*t)();
-          });
-    }
-    cv_.notify_one();
+    enqueue([t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
+      (*t)();
+    });
     return result;
   }
 
@@ -65,10 +60,21 @@ class ThreadPool {
                           const std::function<void(std::size_t)>& fn);
 
  private:
+  // Queue entries carry their enqueue time so the worker can attribute
+  // queue-wait latency to the observability layer on dequeue.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Pushes the type-erased task, records queue-depth telemetry, and
+  /// wakes one worker.  Throws std::runtime_error after stop.
+  void enqueue(std::function<void()> fn);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace mwr::util {
 
 Cli::Cli(std::string program_description)
@@ -162,6 +164,18 @@ void add_standard_bench_flags(Cli& cli) {
   cli.add_string("csv", "", "also write the table as CSV to this path");
   cli.add_int("seed", 20210525, "master seed for all replications");
   cli.add_int("threads", 4, "worker threads for the parallel substrates");
+}
+
+void add_metrics_flag(Cli& cli) {
+  cli.add_string("metrics-out", "",
+                 "write a metrics JSON snapshot to this path at exit");
+}
+
+bool write_metrics_if_requested(const Cli& cli) {
+  const std::string& path = cli.get_string("metrics-out");
+  if (path.empty()) return false;
+  obs::MetricsRegistry::global().write_json(path);
+  return true;
 }
 
 }  // namespace mwr::util

@@ -66,4 +66,12 @@ class Cli {
 /// Registers the standard bench flags listed above.
 void add_standard_bench_flags(Cli& cli);
 
+/// Registers `--metrics-out FILE` (default: disabled).  Binaries that
+/// register it must call write_metrics_if_requested() before exiting.
+void add_metrics_flag(Cli& cli);
+
+/// Writes the global MetricsRegistry snapshot to the `--metrics-out`
+/// path; no-op (returns false) when the flag was left empty.
+bool write_metrics_if_requested(const Cli& cli);
+
 }  // namespace mwr::util

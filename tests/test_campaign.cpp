@@ -2,8 +2,14 @@
 // reuse and incremental suite growth (§III-C amortization).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "apr/campaign.hpp"
 #include "datasets/scenario.hpp"
+#include "obs/registry.hpp"
+#include "obs/serialization.hpp"
 
 namespace mwr::apr {
 namespace {
@@ -133,6 +139,43 @@ TEST(Campaign, SuiteSizeIsCappedAtTheOracleLimit) {
   const auto outcome = run_campaign(spec, config);
   // No bug may crash the oracle; the campaign must complete.
   EXPECT_EQ(outcome.bugs.size(), 6u);
+}
+
+TEST(Campaign, MetricsSnapshotIsValidJsonWithNonzeroProbeCounts) {
+  // The --metrics-out CLI path end to end: reset the global registry, run
+  // a campaign, write the snapshot, and parse it back.
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.reset();
+  const auto outcome = run_campaign(toy_spec(), fast_config());
+  ASSERT_GT(outcome.repaired(), 0u);
+
+  const std::string path = ::testing::TempDir() + "mwr_campaign_metrics.json";
+  metrics.write_json(path);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto snapshot = obs::JsonValue::parse(buffer.str());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(snapshot.at("schema").as_string(), "mwr-metrics-v1");
+  const auto& counters = snapshot.at("counters");
+  EXPECT_GT(counters.at("repair.online.probes").as_double(), 0.0);
+  EXPECT_GT(counters.at("repair.online.cycles").as_double(), 0.0);
+  EXPECT_GT(counters.at("pool.candidates_tried").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(counters.at("campaign.bugs_attempted").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      counters.at("campaign.bugs_repaired").as_double(),
+      static_cast<double>(outcome.repaired()));
+  // Phase wall-time histograms carry one observation per phase instance.
+  const auto& histograms = snapshot.at("histograms");
+  EXPECT_GT(histograms.at("phase.precompute.seconds").at("count").as_double(),
+            0.0);
+  EXPECT_GT(histograms.at("phase.online.seconds").at("count").as_double(),
+            0.0);
+  // Convergence status: every toy bug repairs, so the flag reads 1.
+  EXPECT_DOUBLE_EQ(snapshot.at("gauges").at("campaign.converged").as_double(),
+                   1.0);
 }
 
 TEST(BugId, OnlyRepairRelevanceDependsOnIt) {
