@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI gate for the hot-path benchmark artifact.
+
+Validates the JSON bench_hot_paths wrote (--json): it must parse, carry
+the expected schema, and show that the hot-path optimizations still pay
+for themselves — the Fenwick sampler at least 5x over the linear scan,
+cached oracle probes at least 3x over uncached — and that absolute
+sampler cost has not regressed more than 2x against the committed
+baseline (bench/BENCH_hot_paths.baseline.json).  Exits nonzero on any
+violation so the pipeline fails when a hot path regresses.
+
+Speedup floors are ratios measured within one run, so they are immune to
+runner-speed variance; only the absolute-regression check compares
+across machines, hence its generous 2x allowance.
+
+Usage: check_bench.py <BENCH_hot_paths.json> <baseline.json>
+"""
+import json
+import sys
+
+SCHEMA = "mwr-bench-hot-paths-v1"
+SECTIONS = ["sampler", "oracle", "table2_cycle"]
+SPEEDUP_FLOORS = {
+    "sampler": 5.0,       # Fenwick draw vs linear scan at k = 2^14
+    "oracle": 3.0,        # cached vs uncached phase-2 probe
+    "table2_cycle": 1.5,  # full Standard-MWU cycle (n draws + update)
+}
+# Absolute ns-per-op may regress at most this factor vs the committed
+# baseline (cross-machine comparison, so deliberately loose).
+MAX_ABS_REGRESSION = 2.0
+REGRESSION_CHECKED = ["sampler"]
+
+
+def fail(message):
+    print(f"bench gate: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+    for name in SECTIONS:
+        section = doc.get(name)
+        if not isinstance(section, dict):
+            fail(f"{path}: missing section {name}")
+        for field in ("before_ns_per_op", "after_ns_per_op", "speedup"):
+            value = section.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{path}: {name}.{field} is {value!r}, expected > 0")
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <BENCH_hot_paths.json> <baseline.json>")
+    current = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    for name, floor in SPEEDUP_FLOORS.items():
+        speedup = current[name]["speedup"]
+        if speedup < floor:
+            fail(f"{name} speedup {speedup:.2f}x is below the {floor}x floor")
+
+    for name in REGRESSION_CHECKED:
+        now = current[name]["after_ns_per_op"]
+        then = baseline[name]["after_ns_per_op"]
+        if now > then * MAX_ABS_REGRESSION:
+            fail(
+                f"{name} ns-per-op regressed: {now:.1f} vs baseline "
+                f"{then:.1f} (allowed {MAX_ABS_REGRESSION}x)"
+            )
+
+    print(
+        "bench gate: OK ("
+        + ", ".join(
+            f"{name} {current[name]['speedup']:.2f}x" for name in SECTIONS
+        )
+        + ")"
+    )
+
+
+if __name__ == "__main__":
+    main()

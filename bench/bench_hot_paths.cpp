@@ -1,0 +1,278 @@
+// Hot-path acceleration, quantified — before/after ns-per-op for the three
+// optimizations this repository layers onto the paper's algorithms:
+//
+//   sampler       — one weighted draw from k = 2^14 options: the linear
+//                   RngStream::weighted_choice scan vs the Fenwick-tree
+//                   binary descent (util::FenwickSampler).
+//   oracle        — one MWRepair phase-2 probe (evaluate() of a pooled
+//                   32-edit patch): uncached re-hashing vs the primed
+//                   OracleCache (flat semantics + pair-interference cache).
+//   table2_cycle  — one full Standard-MWU bandit cycle at Table II scale
+//                   (k = 2^14, n = 64 agents): per-agent linear scans vs
+//                   the sampler-backed StandardMwu::sample.
+//
+// Results are emitted both as a human-readable table and as machine-
+// readable JSON (--json, default BENCH_hot_paths.json) with the fixed
+// schema "mwr-bench-hot-paths-v1"; CI's bench-smoke job gates on that
+// file via .github/check_bench.py (speedup floors + absolute-regression
+// bound against the committed baseline).
+//
+// Both sides of every comparison compute the same values — each section
+// asserts result equivalence before timing is trusted, and accumulator
+// sums are folded into the JSON so the optimizer cannot delete the loops.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "apr/mutation_pool.hpp"
+#include "apr/test_oracle.hpp"
+#include "core/standard_mwu.hpp"
+#include "datasets/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/fenwick_sampler.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mwr;
+
+struct Section {
+  double before_ns = 0.0;
+  double after_ns = 0.0;
+  std::uint64_t checksum = 0;  ///< anti-DCE accumulator, recorded in JSON.
+
+  [[nodiscard]] double speedup() const {
+    return after_ns > 0.0 ? before_ns / after_ns : 0.0;
+  }
+};
+
+// --- sampler: one weighted draw from k options --------------------------
+
+Section bench_sampler(std::size_t k, std::size_t draws, std::uint64_t seed) {
+  util::RngStream init(seed);
+  std::vector<double> weights(k);
+  for (auto& w : weights) w = 0.25 + init.uniform();
+
+  Section out;
+  {
+    util::RngStream rng(seed ^ 0x1111);
+    const double total =
+        [&] {
+          double t = 0.0;
+          for (const double w : weights) t += w;
+          return t;
+        }();
+    util::WallTimer timer;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+      acc += rng.weighted_choice(weights, total);
+    }
+    out.before_ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(draws);
+    out.checksum += acc;
+  }
+  {
+    const util::FenwickSampler sampler(weights);
+    util::RngStream rng(seed ^ 0x2222);
+    util::WallTimer timer;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+      acc += sampler.sample(rng);
+    }
+    out.after_ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(draws);
+    out.checksum += acc;
+  }
+  return out;
+}
+
+// --- oracle: repeated phase-2 probes over a precomputed pool ------------
+
+Section bench_oracle(std::size_t pool_size, std::size_t patch_size,
+                     std::size_t probes, std::uint64_t seed) {
+  auto spec = datasets::scenario_by_name("gzip-2009-08-16");
+  spec.seed = seed;
+  const apr::ProgramModel program(spec);
+  const apr::TestOracle uncached(program, /*enable_cache=*/false);
+  const apr::TestOracle cached(program, /*enable_cache=*/true);
+
+  apr::PoolConfig pool_config;
+  pool_config.target_size = pool_size;
+  pool_config.seed = seed;
+  const auto pool = apr::MutationPool::precompute(uncached, pool_config);
+  cached.prime_cache(pool.mutations());
+
+  // One shared probe schedule (the same patches, in the same order, for
+  // both oracles) drawn the way MWRepair phase 2 draws them.
+  std::vector<apr::Patch> patches(probes);
+  util::RngStream draw(seed ^ 0x3333);
+  for (auto& patch : patches) {
+    patch = apr::sample_from_pool(pool.mutations(), patch_size, draw);
+  }
+
+  // Equivalence first: cached and uncached evaluation must be
+  // bit-identical on every probe or the timing below is meaningless.
+  for (const auto& patch : patches) {
+    if (!(uncached.evaluate(patch) == cached.evaluate(patch))) {
+      std::cerr << "FATAL: cached evaluate() diverged from uncached\n";
+      std::exit(1);
+    }
+  }
+
+  Section out;
+  {
+    util::WallTimer timer;
+    std::uint64_t acc = 0;
+    for (const auto& patch : patches) {
+      acc += uncached.evaluate(patch).fitness();
+    }
+    out.before_ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(probes);
+    out.checksum += acc;
+  }
+  {
+    util::WallTimer timer;
+    std::uint64_t acc = 0;
+    for (const auto& patch : patches) {
+      acc += cached.evaluate(patch).fitness();
+    }
+    out.after_ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(probes);
+    out.checksum += acc;
+  }
+  return out;
+}
+
+// --- table2_cycle: full Standard-MWU bandit cycle at k = 2^14 -----------
+
+Section bench_table2_cycle(std::size_t k, std::size_t agents,
+                           std::size_t cycles, std::uint64_t seed) {
+  core::MwuConfig config;
+  config.num_options = k;
+  config.num_agents = agents;
+
+  // A fixed synthetic reward rule keeps both runs on identical updates.
+  const auto reward = [k](std::size_t option) {
+    return option * 2 < k ? 1.0 : 0.0;
+  };
+
+  Section out;
+  {
+    // Before: the historical cycle — per-agent linear scans over the
+    // shared weight vector.
+    core::StandardMwu mwu(config);
+    util::RngStream rng(seed ^ 0x4444);
+    std::vector<std::size_t> probes(agents);
+    std::vector<double> rewards(agents);
+    util::WallTimer timer;
+    std::uint64_t acc = 0;
+    for (std::size_t c = 0; c < cycles; ++c) {
+      const auto& weights = mwu.weights();
+      double total = 0.0;
+      for (const double w : weights) total += w;
+      for (std::size_t j = 0; j < agents; ++j) {
+        probes[j] = rng.weighted_choice(weights, total);
+        rewards[j] = reward(probes[j]);
+      }
+      mwu.update(probes, rewards, rng);
+      acc += mwu.best_option();
+    }
+    out.before_ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(cycles);
+    out.checksum += acc;
+  }
+  {
+    // After: StandardMwu::sample — Fenwick descent per agent, tree rebuilt
+    // alongside the per-cycle renormalization.
+    core::StandardMwu mwu(config);
+    util::RngStream rng(seed ^ 0x4444);
+    std::vector<double> rewards(agents);
+    util::WallTimer timer;
+    std::uint64_t acc = 0;
+    for (std::size_t c = 0; c < cycles; ++c) {
+      const auto probes = mwu.sample(rng);
+      for (std::size_t j = 0; j < agents; ++j) rewards[j] = reward(probes[j]);
+      mwu.update(probes, rewards, rng);
+      acc += mwu.best_option();
+    }
+    out.after_ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(cycles);
+    out.checksum += acc;
+  }
+  return out;
+}
+
+void emit_json(const std::string& path, std::size_t k, std::size_t agents,
+               std::size_t pool_size, std::size_t patch_size,
+               const Section& sampler, const Section& oracle,
+               const Section& cycle) {
+  const auto section = [](std::ostream& os, const char* name,
+                          const Section& s, bool last) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  \"%s\": {\"before_ns_per_op\": %.1f, "
+                  "\"after_ns_per_op\": %.1f, \"speedup\": %.2f, "
+                  "\"checksum\": %llu}%s\n",
+                  name, s.before_ns, s.after_ns, s.speedup(),
+                  static_cast<unsigned long long>(s.checksum),
+                  last ? "" : ",");
+    os << buf;
+  };
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"schema\": \"mwr-bench-hot-paths-v1\",\n"
+     << "  \"params\": {\"options\": " << k << ", \"agents\": " << agents
+     << ", \"pool\": " << pool_size << ", \"patch\": " << patch_size
+     << "},\n";
+  section(os, "sampler", sampler, false);
+  section(os, "oracle", oracle, false);
+  section(os, "table2_cycle", cycle, true);
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_hot_paths — before/after ns-per-op for the Fenwick "
+                "sampler, the oracle cache, and the full Table-II cycle");
+  util::add_standard_bench_flags(cli);
+  cli.add_int("options", 1 << 14, "weighted-draw options (k)");
+  cli.add_int("agents", 64, "agents per cycle (n)");
+  cli.add_int("draws", 200000, "sampler draws to time");
+  cli.add_int("cycles", 200, "full MWU cycles to time");
+  cli.add_int("pool", 512, "precomputed pool size for the oracle bench");
+  cli.add_int("patch", 32, "mutations per probed patch");
+  cli.add_int("probes", 2000, "oracle probes to time");
+  cli.add_string("json", "BENCH_hot_paths.json",
+                 "machine-readable output path (gated by check_bench.py)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::size_t>(cli.get_int("options"));
+  const auto agents = static_cast<std::size_t>(cli.get_int("agents"));
+  const auto pool_size = static_cast<std::size_t>(cli.get_int("pool"));
+  const auto patch_size = static_cast<std::size_t>(cli.get_int("patch"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const Section sampler = bench_sampler(
+      k, static_cast<std::size_t>(cli.get_int("draws")), seed);
+  const Section oracle = bench_oracle(
+      pool_size, patch_size, static_cast<std::size_t>(cli.get_int("probes")),
+      seed);
+  const Section cycle = bench_table2_cycle(
+      k, agents, static_cast<std::size_t>(cli.get_int("cycles")), seed);
+
+  util::Table table("Hot-path before/after (k=" + std::to_string(k) +
+                    ", n=" + std::to_string(agents) + ")");
+  table.set_header({"path", "before ns/op", "after ns/op", "speedup"});
+  const auto row = [&](const char* name, const Section& s) {
+    table.add_row({name, util::fmt_fixed(s.before_ns, 1),
+                   util::fmt_fixed(s.after_ns, 1),
+                   util::fmt_fixed(s.speedup(), 2) + "x"});
+  };
+  row("weighted draw (linear -> Fenwick)", sampler);
+  row("phase-2 probe (uncached -> cached)", oracle);
+  row("Standard-MWU cycle", cycle);
+  table.emit(std::cout, cli.get_string("csv"));
+
+  emit_json(cli.get_string("json"), k, agents, pool_size, patch_size,
+            sampler, oracle, cycle);
+  std::cout << "wrote " << cli.get_string("json") << "\n";
+  return 0;
+}

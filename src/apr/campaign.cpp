@@ -69,7 +69,8 @@ CampaignOutcome run_campaign(const datasets::ScenarioSpec& base,
       // suite (a no-op when nothing changed, a partial re-run otherwise).
       const std::uint64_t runs_before = bug_oracle.suite_runs();
       if (config.grow_suite && bug_spec.tests != current.tests) {
-        record.pool_dropped = working_pool.revalidate(bug_oracle);
+        record.pool_dropped =
+            working_pool.revalidate(bug_oracle, config.pool.threads);
         current.tests = bug_spec.tests;
       }
       record.maintenance_runs = bug_oracle.suite_runs() - runs_before;

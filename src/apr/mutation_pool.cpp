@@ -66,6 +66,10 @@ MutationPool MutationPool::precompute(const TestOracle& oracle,
             [](const Mutation& a, const Mutation& b) {
               return a.key() < b.key();
             });
+  // Install the oracle's pooled fast path eagerly: phase-2 probes draw
+  // exclusively from this pool, so memoizing its semantics now makes every
+  // subsequent probe a cache hit.
+  oracle.prime_cache(pool.pool_);
   return pool;
 }
 
@@ -85,12 +89,30 @@ MutationPool MutationPool::from_mutations(std::vector<Mutation> mutations) {
   return pool;
 }
 
-std::size_t MutationPool::revalidate(const TestOracle& oracle) {
+std::size_t MutationPool::revalidate(const TestOracle& oracle,
+                                     std::size_t threads) {
   const std::size_t before = pool_.size();
-  std::erase_if(pool_, [&](const Mutation& m) {
-    const Evaluation e = oracle.evaluate({&m, 1});
-    return e.required_passed != e.required_total;
-  });
+  // Verdicts are independent per member, so fan the suite runs out over
+  // the pool and erase serially afterwards — same survivors, same order,
+  // as the historical serial erase_if.
+  std::vector<char> keep(pool_.size(), 1);
+  if (threads > 1 && pool_.size() > 1) {
+    parallel::ThreadPool workers(threads);
+    workers.parallel_for_index(pool_.size(), [&](std::size_t i) {
+      const Evaluation e = oracle.evaluate({&pool_[i], 1});
+      keep[i] = (e.required_passed == e.required_total) ? 1 : 0;
+    });
+  } else {
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      const Evaluation e = oracle.evaluate({&pool_[i], 1});
+      keep[i] = (e.required_passed == e.required_total) ? 1 : 0;
+    }
+  }
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (keep[i]) pool_[write++] = pool_[i];
+  }
+  pool_.resize(write);
   const std::size_t dropped = before - pool_.size();
   auto& metrics = obs::MetricsRegistry::global();
   metrics.counter("pool.revalidation_runs").add(before);

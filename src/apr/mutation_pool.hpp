@@ -57,8 +57,10 @@ class MutationPool {
 
   /// Re-runs every pool member against (a possibly different) oracle and
   /// drops the ones that no longer pass — the incremental-update path for a
-  /// grown test suite.  Returns the number of dropped mutations.
-  std::size_t revalidate(const TestOracle& oracle);
+  /// grown test suite.  Suite runs fan out over `threads` workers (order
+  /// and survivors are identical to the serial pass — each member's verdict
+  /// is independent).  Returns the number of dropped mutations.
+  std::size_t revalidate(const TestOracle& oracle, std::size_t threads = 1);
 
  private:
   std::vector<Mutation> pool_;

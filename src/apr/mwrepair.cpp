@@ -36,6 +36,11 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
   if (pool.empty())
     throw std::invalid_argument("MwRepair::run: empty mutation pool");
 
+  // Every phase-2 probe draws from this pool; memoize its semantics up
+  // front so probes hit the oracle's lock-free pooled fast path.  No-op if
+  // precompute already primed this pool (or the cache is disabled).
+  oracle.prime_cache(pool.mutations());
+
   core::MwuConfig mwu_config;
   mwu_config.num_options = config_.arms;
   mwu_config.num_agents = config_.agents;

@@ -1,0 +1,55 @@
+#include "apr/oracle_cache.hpp"
+
+#include <algorithm>
+
+namespace mwr::apr {
+
+std::optional<MutationSemantics> OracleCache::lookup(std::uint64_t key) const {
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void OracleCache::store(std::uint64_t key, MutationSemantics value) {
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  shard.map.emplace(key, value);
+}
+
+void OracleCache::prime(std::vector<std::uint64_t> sorted_keys,
+                        std::vector<MutationSemantics> semantics) {
+  if (primed() && sorted_keys == pool_keys_) return;
+  primed_.store(false, std::memory_order_release);
+  pool_keys_ = std::move(sorted_keys);
+  pool_semantics_ = std::move(semantics);
+  // Key -> pool-index table at load factor <= 1/4: one or two probes per
+  // lookup in practice.
+  std::size_t table_size = 16;
+  while (table_size < pool_keys_.size() * 4) table_size <<= 1;
+  table_mask_ = table_size - 1;
+  index_table_.assign(table_size, IndexEntry{});
+  for (std::size_t i = 0; i < pool_keys_.size(); ++i) {
+    std::size_t slot = mix_key(pool_keys_[i]) & table_mask_;
+    while (index_table_[slot].index_plus_one != 0) {
+      slot = (slot + 1) & table_mask_;
+    }
+    index_table_[slot] =
+        IndexEntry{pool_keys_[i], static_cast<std::uint32_t>(i + 1)};
+  }
+  pair_dimension_ = std::min(pool_keys_.size(), kMaxPairDimension);
+  const std::size_t slots =
+      pair_dimension_ * (pair_dimension_ > 0 ? pair_dimension_ - 1 : 0) / 2;
+  // vector<atomic> cannot be resized through assignment; construct fresh
+  // (zero-initialized == kPairUnknown).
+  pairs_ = std::vector<std::atomic<std::uint8_t>>(slots);
+  primed_.store(true, std::memory_order_release);
+}
+
+bool OracleCache::primed_with(std::span<const std::uint64_t> keys) const {
+  return primed() && keys.size() == pool_keys_.size() &&
+         std::equal(keys.begin(), keys.end(), pool_keys_.begin());
+}
+
+}  // namespace mwr::apr

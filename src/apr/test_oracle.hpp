@@ -24,6 +24,16 @@
 //                   contains at least min_repair_edits relevant mutations.
 //                   A *repair* passes the bug test AND the required suite.
 //
+// Because the semantics are a pure function of (spec, mutation key), the
+// oracle memoizes them in an OracleCache (on by default; construct with
+// enable_cache = false for the uncached reference path): per-mutation
+// masks and relevance are computed once, and after prime_cache() installs
+// a mutation pool, phase-2 probes skip all per-mutation re-hashing and
+// resolve pair interference through a lock-free bounded cache.  Cache
+// traffic is exported as the obs counters oracle.mask_cache_{hits,misses}
+// and oracle.pair_cache_{hits,misses}.  Cached and uncached evaluation are
+// bit-identical (golden-tested).
+//
 // Every evaluate() call counts one test-suite run — the unit in which the
 // paper measures APR cost (§IV-G) — via a relaxed atomic, so concurrent
 // probes from the thread pool can share one oracle.
@@ -31,10 +41,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "apr/mutation.hpp"
+#include "apr/oracle_cache.hpp"
 #include "apr/program.hpp"
+#include "obs/metrics.hpp"
 
 namespace mwr::apr {
 
@@ -53,11 +66,15 @@ struct Evaluation {
   [[nodiscard]] bool is_repair() const noexcept {
     return bug_test_passed && required_passed == required_total;
   }
+
+  friend bool operator==(const Evaluation&, const Evaluation&) = default;
 };
 
 class TestOracle {
  public:
-  explicit TestOracle(const ProgramModel& program);
+  /// `enable_cache = false` disables all memoization — the reference path
+  /// the golden equivalence tests and the hot-path bench compare against.
+  explicit TestOracle(const ProgramModel& program, bool enable_cache = true);
 
   /// Runs the (simulated) suite on original-program-plus-patch.
   [[nodiscard]] Evaluation evaluate(std::span<const Mutation> patch) const;
@@ -76,6 +93,16 @@ class TestOracle {
   [[nodiscard]] bool is_safe(const Mutation& m) const;
   [[nodiscard]] bool is_repair_relevant(const Mutation& m) const;
 
+  /// Eagerly memoizes the pooled mutations' masks/relevance and installs
+  /// the lock-free pooled fast path (flat semantics array + bounded pair
+  /// cache).  No-op when the cache is disabled or the same pool is already
+  /// primed.  Must not race evaluate(); does not count suite runs.
+  void prime_cache(std::span<const Mutation> pool) const;
+
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_ != nullptr;
+  }
+
   /// Total suite runs so far (the cost currency of §IV-G).
   [[nodiscard]] std::uint64_t suite_runs() const noexcept {
     return suite_runs_.load(std::memory_order_relaxed);
@@ -86,13 +113,33 @@ class TestOracle {
   }
 
  private:
+  /// The raw (uncached) semantics computations.
   [[nodiscard]] std::uint64_t broken_mask_single(const Mutation& m) const;
+  [[nodiscard]] MutationSemantics compute_semantics(const Mutation& m) const;
+  /// Cached when possible; counts one mask-cache hit or miss.
+  [[nodiscard]] MutationSemantics semantics_for(const Mutation& m) const;
+  [[nodiscard]] std::uint64_t pair_interference_mask(std::uint64_t lo,
+                                                     std::uint64_t hi) const;
 
   const ProgramModel* program_;
   std::uint32_t required_tests_;
   double interference_;
   double per_test_break_rate_ = 0.0;
+  // The relevance-hash threshold, hoisted out of is_repair_relevant: the
+  // plain repair_rate, or the region-rescaled rate when relevance is
+  // localized (constant per scenario either way, so the hash check is a
+  // pure function of the mutation key and therefore cacheable).
+  double relevance_rate_ = 0.0;
   mutable std::atomic<std::uint64_t> suite_runs_{0};
+
+  // Memoization (null when disabled).  The cache only ever stores pure
+  // functions of the spec, so mutating it from const evaluate() preserves
+  // logical constness.
+  mutable std::unique_ptr<OracleCache> cache_;
+  obs::Counter* mask_hits_ = nullptr;
+  obs::Counter* mask_misses_ = nullptr;
+  obs::Counter* pair_hits_ = nullptr;
+  obs::Counter* pair_misses_ = nullptr;
 };
 
 }  // namespace mwr::apr

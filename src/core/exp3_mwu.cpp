@@ -32,10 +32,12 @@ std::vector<double> Exp3Mwu::probabilities() const {
 }
 
 std::vector<std::size_t> Exp3Mwu::sample(util::RngStream& rng) {
-  const auto p = probabilities();
+  // One O(k) sampler build amortized over the n agent draws, each O(log k)
+  // instead of the O(k) linear scan over the probability vector.
+  sampler_.rebuild(probabilities());
   std::vector<std::size_t> probes(config_.num_agents);
   for (auto& option : probes) {
-    option = rng.weighted_choice(p, 1.0);
+    option = sampler_.sample(rng);
   }
   return probes;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/mwu.hpp"
+#include "util/fenwick_sampler.hpp"
 
 namespace mwr::core {
 
@@ -50,6 +51,9 @@ class Exp3Mwu final : public MwuStrategy {
   MwuConfig config_;
   std::vector<double> weights_;
   double total_weight_ = 0.0;
+  /// Rebuilt from the exploration-floored probabilities at each sample()
+  /// call; amortizes the build over the n per-agent draws.
+  util::FenwickSampler sampler_;
 };
 
 }  // namespace mwr::core

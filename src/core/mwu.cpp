@@ -1,6 +1,7 @@
 #include "core/mwu.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/distributed_mwu.hpp"
@@ -8,6 +9,7 @@
 #include "core/slate_mwu.hpp"
 #include "core/standard_mwu.hpp"
 #include "obs/registry.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mwr::core {
 
@@ -64,13 +66,27 @@ MwuResult run_mwu(MwuStrategy& strategy, const CostOracle& oracle,
   obs::Counter& probe_counter = metrics.counter("mwu.probes");
   obs::Histogram& cycle_seconds = metrics.histogram("mwu.cycle_seconds");
 
+  // Batched parallel probe evaluation (eval_threads >= 2): the pool lives
+  // for the whole run; each cycle splits one child stream per probe off the
+  // master stream *before* the fan-out, so rewards are a pure function of
+  // the seed regardless of thread count (see MwuConfig::eval_threads).
+  std::optional<parallel::ThreadPool> workers;
+  if (config.eval_threads > 1) workers.emplace(config.eval_threads);
+
   std::vector<double> rewards;
   for (std::size_t t = 0; t < config.max_iterations; ++t) {
     const obs::ScopedTimer cycle_timer(cycle_seconds);
     const auto probes = strategy.sample(rng);
     rewards.resize(probes.size());
-    for (std::size_t j = 0; j < probes.size(); ++j) {
-      rewards[j] = counted.sample(probes[j], rng);
+    if (workers) {
+      auto streams = rng.split_n(probes.size());
+      workers->parallel_for_index(probes.size(), [&](std::size_t j) {
+        rewards[j] = counted.sample(probes[j], streams[j]);
+      });
+    } else {
+      for (std::size_t j = 0; j < probes.size(); ++j) {
+        rewards[j] = counted.sample(probes[j], rng);
+      }
     }
     strategy.update(probes, rewards, rng);
     ++result.iterations;

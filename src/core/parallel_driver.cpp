@@ -36,8 +36,6 @@ struct SpmdMetrics {
 // User-level tags for the SPMD drivers (below the collective tag space).
 constexpr int kTagObserveRequest = 100;
 constexpr int kTagObserveReply = 101;
-constexpr int kTagChoiceSnapshot = 102;
-constexpr int kTagContinue = 103;
 
 // Brackets a congestion-cycle close between two barriers so that no rank's
 // sends from the next phase leak into the closing cycle.
@@ -173,36 +171,33 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
           success ? config.adopt_success : config.adopt_failure;
       if (rng.bernoulli(adopt_probability)) choice = observed;
 
-      // --- Convergence snapshot (bookkeeping, untracked): rank 0 collects
-      // all choices and broadcasts whether the plurality threshold is met.
-      comm.send_untracked(0, kTagChoiceSnapshot,
-                          {static_cast<double>(choice)});
-      bool stop = false;
+      // --- Convergence snapshot (bookkeeping, untracked): every rank
+      // contributes a one-hot choice vector to a binomial-tree allreduce,
+      // so the popularity census reaches all ranks with O(log n) messages
+      // per node instead of the O(population) recv loop rank 0 used to
+      // absorb.  Each rank then applies the plurality test to the same
+      // reduced vector, so no continue/stop broadcast is needed.
+      std::vector<double> census(config.num_options, 0.0);
+      census[choice] = 1.0;
+      std::vector<double> popularity;
+      {
+        const obs::ScopedTimer wait(metrics.collective_wait_seconds);
+        popularity = comm.allreduce_sum_tree_untracked(std::move(census));
+      }
+      const double max_count =
+          *std::max_element(popularity.begin(), popularity.end());
+      const bool stop =
+          max_count >=
+          config.plurality_threshold * static_cast<double>(population);
       if (comm.rank() == 0) {
-        std::vector<std::uint32_t> popularity(config.num_options, 0);
-        for (std::size_t j = 0; j < population; ++j) {
-          const auto snapshot =
-              comm.recv(parallel::kAnySource, kTagChoiceSnapshot);
-          ++popularity[static_cast<std::size_t>(snapshot.payload.at(0))];
-        }
-        const auto max_count =
-            *std::max_element(popularity.begin(), popularity.end());
-        stop = static_cast<double>(max_count) >=
-               config.plurality_threshold * static_cast<double>(population);
-        for (std::size_t r = 1; r < population; ++r) {
-          comm.send_untracked(static_cast<int>(r), kTagContinue,
-                              {stop ? 1.0 : 0.0});
-        }
         out.result.best_option = static_cast<std::size_t>(
             std::max_element(popularity.begin(), popularity.end()) -
             popularity.begin());
         out.result.probabilities.assign(config.num_options, 0.0);
         for (std::size_t i = 0; i < config.num_options; ++i) {
-          out.result.probabilities[i] = static_cast<double>(popularity[i]) /
-                                        static_cast<double>(population);
+          out.result.probabilities[i] =
+              popularity[i] / static_cast<double>(population);
         }
-      } else {
-        stop = comm.recv(0, kTagContinue).payload.at(0) > 0.0;
       }
       ++iterations;
       if (comm.rank() == 0) metrics.cycles.add(1);

@@ -53,7 +53,11 @@ std::vector<std::size_t> SlateMwu::sample(util::RngStream& rng) {
     for (const auto& component : components) {
       coefficients.push_back(component.coefficient);
     }
-    const std::size_t pick = rng.weighted_choice(coefficients);
+    // Same one-uniform draw as weighted_choice; routed through the Fenwick
+    // sampler so every MWU realization shares one weighted-draw code path
+    // (the decomposition can yield up to 2k components).
+    coefficient_sampler_.rebuild(coefficients);
+    const std::size_t pick = coefficient_sampler_.sample(rng);
     return components[std::min(pick, components.size() - 1)].members;
   }
   return systematic_sample(q, slate_size_, rng);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/mwu.hpp"
+#include "util/fenwick_sampler.hpp"
 
 namespace mwr::core {
 
@@ -68,6 +69,9 @@ class SlateMwu final : public MwuStrategy {
   std::vector<double> weights_;
   double total_weight_ = 0.0;
   Sampler sampler_ = Sampler::kSystematic;
+  /// Decomposition mode's coefficient draw (kept as a member so repeated
+  /// sample() calls reuse its storage).
+  util::FenwickSampler coefficient_sampler_;
 };
 
 }  // namespace mwr::core

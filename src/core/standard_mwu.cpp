@@ -20,6 +20,7 @@ StandardMwu::StandardMwu(const MwuConfig& config) : config_(config) {
 void StandardMwu::init() {
   weights_.assign(config_.num_options, 1.0);
   total_weight_ = static_cast<double>(config_.num_options);
+  sampler_.rebuild(weights_);
 }
 
 std::vector<std::size_t> StandardMwu::sample(util::RngStream& rng) {
@@ -29,9 +30,11 @@ std::vector<std::size_t> StandardMwu::sample(util::RngStream& rng) {
     std::iota(assigned.begin(), assigned.end(), std::size_t{0});
     return assigned;
   }
+  // O(log k) per draw instead of the O(k) linear scan; the sampler tracks
+  // weights_ exactly, so the draw distribution is unchanged.
   std::vector<std::size_t> assigned(config_.num_agents);
   for (auto& option : assigned) {
-    option = rng.weighted_choice(weights_, total_weight_);
+    option = sampler_.sample(rng);
   }
   return assigned;
 }
@@ -55,6 +58,7 @@ void StandardMwu::update(std::span<const std::size_t> options,
       w /= max_weight;
       total_weight_ += w;
     }
+    sampler_.rebuild(weights_);
     return;
   }
   std::vector<double> counts(config_.num_options, 0.0);
@@ -80,6 +84,7 @@ void StandardMwu::apply_reward_counts(std::span<const double> counts) {
     w /= max_weight;
     total_weight_ += w;
   }
+  sampler_.rebuild(weights_);
 }
 
 void StandardMwu::set_weights(std::vector<double> weights) {
@@ -95,6 +100,7 @@ void StandardMwu::set_weights(std::vector<double> weights) {
     throw std::invalid_argument("StandardMwu::set_weights: zero total");
   weights_ = std::move(weights);
   total_weight_ = total;
+  sampler_.rebuild(weights_);
 }
 
 std::vector<double> StandardMwu::probabilities() const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/mwu.hpp"
+#include "util/fenwick_sampler.hpp"
 
 namespace mwr::core {
 
@@ -58,6 +59,10 @@ class StandardMwu final : public MwuStrategy {
   MwuConfig config_;
   std::vector<double> weights_;
   double total_weight_ = 0.0;
+  /// O(log k) weight-proportional sampler over weights_, rebuilt after
+  /// every weight change (the O(k) rebuild rides along with the O(k)
+  /// renormalization those paths already perform).
+  util::FenwickSampler sampler_;
 };
 
 }  // namespace mwr::core

@@ -122,14 +122,31 @@ std::vector<double> Comm::allreduce_sum(std::vector<double> payload) {
 }
 
 std::vector<double> Comm::allreduce_sum_tree(std::vector<double> payload) {
+  return allreduce_tree_impl(std::move(payload), /*tracked=*/true);
+}
+
+std::vector<double> Comm::allreduce_sum_tree_untracked(
+    std::vector<double> payload) {
+  return allreduce_tree_impl(std::move(payload), /*tracked=*/false);
+}
+
+std::vector<double> Comm::allreduce_tree_impl(std::vector<double> payload,
+                                              bool tracked) {
   // Binomial tree rooted at 0.  Reduce phase: at round r (mask = 1 << r), a
   // rank whose bit r is set sends its partial sum to rank ^ mask and goes
   // passive; otherwise it receives from rank + mask if that peer exists.
   const auto n = static_cast<int>(world_->size());
+  const auto emit = [&](int destination, int tag, std::vector<double> data) {
+    if (tracked) {
+      send(destination, tag, std::move(data));
+    } else {
+      send_untracked(destination, tag, std::move(data));
+    }
+  };
   std::vector<double> sum = std::move(payload);
   for (int mask = 1; mask < n; mask <<= 1) {
     if (rank_ & mask) {
-      send(rank_ ^ mask, kTagTreeReduce, std::move(sum));
+      emit(rank_ ^ mask, kTagTreeReduce, std::move(sum));
       break;  // passive for the rest of the reduce phase
     }
     const int peer = rank_ | mask;
@@ -149,7 +166,7 @@ std::vector<double> Comm::allreduce_sum_tree(std::vector<double> payload) {
     const int period = 2 * mask;
     if (rank_ % period == 0) {
       const int peer = rank_ + mask;
-      if (peer < n) send(peer, kTagTreeBcast, sum);
+      if (peer < n) emit(peer, kTagTreeBcast, sum);
     } else if (rank_ % period == mask) {
       sum = recv(rank_ - mask, kTagTreeBcast).payload;
     }

@@ -86,7 +86,17 @@ class Comm {
   [[nodiscard]] std::vector<double> allreduce_sum_tree(
       std::vector<double> payload);
 
+  /// allreduce_sum_tree with congestion-exempt messages, for harness
+  /// bookkeeping (e.g. the SPMD convergence snapshot): the O(log n)
+  /// per-node collective without charging the algorithm's congestion
+  /// account — the tree-shaped analogue of send_untracked().
+  [[nodiscard]] std::vector<double> allreduce_sum_tree_untracked(
+      std::vector<double> payload);
+
  private:
+  [[nodiscard]] std::vector<double> allreduce_tree_impl(
+      std::vector<double> payload, bool tracked);
+
   CommWorld* world_;
   int rank_;
 };

@@ -1,0 +1,90 @@
+#include "util/fenwick_sampler.hpp"
+
+namespace mwr::util {
+
+FenwickSampler::FenwickSampler(std::span<const double> weights) {
+  rebuild(weights);
+}
+
+void FenwickSampler::rebuild(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  weights_.assign(weights.begin(), weights.end());
+  tree_.assign(n + 1, 0.0);
+  total_ = 0.0;
+  // Linear construction: seed each node with its own weight, then push the
+  // partial sum into the parent that covers it.  One pass, O(k).
+  for (std::size_t i = 1; i <= n; ++i) {
+    tree_[i] += weights_[i - 1];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= n) tree_[parent] += tree_[i];
+    total_ += weights_[i - 1];
+  }
+  top_bit_ = 0;
+  if (n > 0) {
+    top_bit_ = 1;
+    while ((top_bit_ << 1) <= n) top_bit_ <<= 1;
+  }
+}
+
+void FenwickSampler::update(std::size_t index, double value) {
+  const double delta = value - weights_[index];
+  weights_[index] = value;
+  total_ += delta;
+  for (std::size_t i = index + 1; i <= weights_.size(); i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+double FenwickSampler::prefix_sum(std::size_t count) const {
+  double sum = 0.0;
+  for (std::size_t i = count; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+  return sum;
+}
+
+std::size_t FenwickSampler::find(double target) const {
+  // Binary descent over the implicit prefix-sum function: after the loop,
+  // `index` is the largest count whose prefix sum is <= target, which is
+  // exactly the 0-based index of the entry that pushes the sum past it.
+  // Zero-weight entries are skipped like the linear scan skips them (their
+  // inclusion leaves the running prefix unchanged).
+  std::size_t index = 0;
+  double remaining = target;
+  for (std::size_t step = top_bit_; step > 0; step >>= 1) {
+    const std::size_t next = index + step;
+    if (next <= weights_.size() && tree_[next] <= remaining) {
+      remaining -= tree_[next];
+      index = next;
+    }
+  }
+  return index;
+}
+
+std::size_t FenwickSampler::last_positive() const {
+  for (std::size_t i = weights_.size(); i-- > 0;) {
+    if (weights_[i] > 0.0) return i;
+  }
+  return weights_.size();
+}
+
+std::size_t FenwickSampler::sample(RngStream& rng) const {
+  if (total_ <= 0.0) return weights_.size();
+  if (weights_.size() <= kLinearCutoff) {
+    // Same arithmetic, in the same order, as RngStream::weighted_choice:
+    // small-k draws are bit-identical to the historical linear path.
+    double target = rng.uniform() * total_;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      target -= weights_[i];
+      if (target < 0.0) return i;
+    }
+    return last_positive();
+  }
+  const std::size_t index = find(rng.uniform() * total_);
+  // Floating-point underrun: uniform() < 1 guarantees target < total_, but
+  // the tree's block sums can round the other way; the residual mass
+  // belongs to the last positive-weight entry (same rule as the linear
+  // reference implementation).
+  if (index >= weights_.size()) return last_positive();
+  return index;
+}
+
+}  // namespace mwr::util

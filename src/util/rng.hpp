@@ -137,8 +137,12 @@ class RngStream {
   std::size_t weighted_choice(const std::vector<double>& weights,
                               double total) noexcept;
 
-  /// Fisher–Yates sample of `count` distinct indices from [0, population).
-  /// count must be <= population.
+  /// Sample of `count` distinct indices from [0, population), uniform over
+  /// count-subsets.  Always the partial-Fisher–Yates draw sequence (so
+  /// seeded experiments are reproducible across versions); when
+  /// count << population the permutation is kept sparsely in a hash map —
+  /// O(count) time and memory instead of an O(population) iota vector per
+  /// call.  count is clamped to population.
   std::vector<std::size_t> sample_without_replacement(std::size_t population,
                                                       std::size_t count) noexcept;
 

@@ -1,0 +1,189 @@
+// util::FenwickSampler — exact prefix-sum semantics against the linear
+// reference scan, edge cases, point updates, and distributional agreement
+// with RngStream::weighted_choice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/fenwick_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace mwr::util {
+namespace {
+
+// Large enough to clear kLinearCutoff so the binary descent (not the
+// small-k linear fallback) is what these tests exercise.
+std::vector<double> integer_weights(std::size_t k, std::uint64_t seed) {
+  RngStream rng(seed);
+  std::vector<double> w(k);
+  for (auto& v : w) v = static_cast<double>(rng.uniform_index(10));
+  // Ensure a positive total.
+  w[k / 2] = std::max(w[k / 2], 1.0);
+  return w;
+}
+
+// Reference: smallest index whose inclusive prefix sum exceeds target.
+std::size_t linear_find(const std::vector<double>& w, double target) {
+  double run = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    run += w[i];
+    if (target < run) return i;
+  }
+  return w.size();
+}
+
+TEST(FenwickSampler, PrefixSumsMatchSequentialAccumulation) {
+  const auto w = integer_weights(300, 7);
+  const FenwickSampler sampler(w);
+  double run = 0.0;
+  for (std::size_t count = 0; count <= w.size(); ++count) {
+    EXPECT_DOUBLE_EQ(sampler.prefix_sum(count), run) << "count=" << count;
+    if (count < w.size()) run += w[count];
+  }
+  EXPECT_DOUBLE_EQ(sampler.total(), run);
+}
+
+TEST(FenwickSampler, FindMatchesLinearScanExactlyOnIntegerWeights) {
+  // Integer-valued weights make every partial sum exactly representable,
+  // so the tree's block sums and the sequential scan agree bit-for-bit —
+  // including exactly on bucket boundaries.
+  const auto w = integer_weights(517, 11);  // non-power-of-two size
+  const FenwickSampler sampler(w);
+  RngStream rng(3);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double target = rng.uniform() * sampler.total();
+    EXPECT_EQ(sampler.find(target), linear_find(w, target));
+  }
+  // Boundary targets: exact prefix sums must select the *next* bucket.
+  double run = 0.0;
+  for (std::size_t i = 0; i < w.size() && run < sampler.total(); ++i) {
+    EXPECT_EQ(sampler.find(run), linear_find(w, run));
+    run += w[i];
+  }
+}
+
+TEST(FenwickSampler, SampleMatchesWeightedChoiceDrawForDraw) {
+  // Same uniform stream in, same index sequence out (integer weights, so
+  // the association difference cannot surface).
+  const auto w = integer_weights(400, 13);
+  const FenwickSampler sampler(w);
+  RngStream a(99);
+  RngStream b(99);
+  for (int trial = 0; trial < 20000; ++trial) {
+    EXPECT_EQ(sampler.sample(a), b.weighted_choice(w));
+  }
+}
+
+TEST(FenwickSampler, SmallSizesUseTheLinearPathBitIdentically) {
+  // Below kLinearCutoff sample() *is* the sequential scan — identical for
+  // arbitrary (non-integer) weights too.
+  RngStream init(5);
+  std::vector<double> w(FenwickSampler::kLinearCutoff);
+  for (auto& v : w) v = init.uniform();
+  const FenwickSampler sampler(w);
+  RngStream a(42);
+  RngStream b(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    EXPECT_EQ(sampler.sample(a), b.weighted_choice(w));
+  }
+}
+
+TEST(FenwickSampler, ZeroTotalReturnsSize) {
+  const std::vector<double> w(200, 0.0);
+  const FenwickSampler sampler(w);
+  RngStream rng(1);
+  EXPECT_EQ(sampler.sample(rng), w.size());
+  EXPECT_DOUBLE_EQ(sampler.total(), 0.0);
+}
+
+TEST(FenwickSampler, EmptyIsZeroTotal) {
+  const FenwickSampler sampler;
+  RngStream rng(1);
+  EXPECT_TRUE(sampler.empty());
+  EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(FenwickSampler, SinglePositiveWeightAlwaysWins) {
+  for (const std::size_t hot : {std::size_t{0}, std::size_t{123},
+                                std::size_t{499}}) {
+    std::vector<double> w(500, 0.0);
+    w[hot] = 2.5;
+    const FenwickSampler sampler(w);
+    RngStream rng(hot + 1);
+    for (int trial = 0; trial < 1000; ++trial) {
+      EXPECT_EQ(sampler.sample(rng), hot);
+    }
+  }
+}
+
+TEST(FenwickSampler, PointUpdateMatchesRebuildFromScratch) {
+  // Renormalize-style updates (every weight touched) through update()
+  // must leave the tree equivalent to a fresh build of the new vector.
+  auto w = integer_weights(260, 17);
+  FenwickSampler incremental(w);
+  RngStream mutate(23);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = static_cast<double>(mutate.uniform_index(7));
+      incremental.update(i, w[i]);
+    }
+    w[0] = std::max(w[0], 1.0);
+    incremental.update(0, w[0]);
+    const FenwickSampler rebuilt(w);
+    for (std::size_t count = 0; count <= w.size(); ++count) {
+      EXPECT_DOUBLE_EQ(incremental.prefix_sum(count),
+                       rebuilt.prefix_sum(count));
+    }
+    RngStream a(round);
+    RngStream b(round);
+    for (int trial = 0; trial < 2000; ++trial) {
+      EXPECT_EQ(incremental.sample(a), rebuilt.sample(b));
+    }
+  }
+}
+
+TEST(FenwickSampler, ChiSquaredAgreementWithWeightedChoice) {
+  // General (non-integer) weights: the Fenwick draw must reproduce the
+  // weighted distribution.  k=64 cells, 10^5 draws; the 99.9th percentile
+  // of chi-squared with 63 degrees of freedom is ~106.
+  constexpr std::size_t kCells = 64;
+  constexpr int kDraws = 100000;
+  RngStream init(31);
+  std::vector<double> w(kCells);
+  double total = 0.0;
+  for (auto& v : w) total += (v = 0.1 + init.uniform());
+
+  // Use a padded vector so the tree path (not the small-k fallback) is
+  // exercised: cells beyond kCells get zero weight.
+  std::vector<double> padded(FenwickSampler::kLinearCutoff * 2, 0.0);
+  for (std::size_t i = 0; i < kCells; ++i) padded[i] = w[i];
+  const FenwickSampler sampler(padded);
+
+  std::vector<int> observed(kCells, 0);
+  RngStream rng(77);
+  for (int d = 0; d < kDraws; ++d) {
+    const std::size_t i = sampler.sample(rng);
+    ASSERT_LT(i, kCells);
+    ++observed[i];
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const double expected = static_cast<double>(kDraws) * w[i] / total;
+    const double diff = observed[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 106.0);
+}
+
+TEST(FenwickSampler, UpdateAdjustsTotalIncrementally) {
+  auto w = integer_weights(200, 41);
+  FenwickSampler sampler(w);
+  const double before = sampler.total();
+  sampler.update(5, w[5] + 3.0);
+  EXPECT_DOUBLE_EQ(sampler.total(), before + 3.0);
+  EXPECT_DOUBLE_EQ(sampler.weight(5), w[5] + 3.0);
+}
+
+}  // namespace
+}  // namespace mwr::util

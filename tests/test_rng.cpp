@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <set>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -147,6 +149,60 @@ TEST(RngStream, SampleWithoutReplacementIsDistinct) {
     const std::set<std::size_t> unique(sample.begin(), sample.end());
     EXPECT_EQ(unique.size(), 20u);
     for (const auto s : sample) EXPECT_LT(s, 50u);
+  }
+}
+
+TEST(RngStream, SparseSampleMatchesDensePartialFisherYates) {
+  // count * 8 <= population takes the hash-map branch; it must emit
+  // exactly the permutation prefix the dense branch would (identical
+  // draws, identical output), so seeded experiments are branch-invariant.
+  for (const std::uint64_t seed : {1ull, 22ull, 333ull}) {
+    for (const auto& [population, count] :
+         {std::pair<std::size_t, std::size_t>{10000, 16},
+          {4096, 64},
+          {129, 16},
+          {200, 1}}) {
+      RngStream sparse_rng(seed);
+      const auto sparse = sparse_rng.sample_without_replacement(population,
+                                                               count);
+      // Dense reference with a duplicated stream.
+      RngStream dense_rng(seed);
+      std::vector<std::size_t> pool(population);
+      std::iota(pool.begin(), pool.end(), std::size_t{0});
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(
+                    dense_rng.uniform_index(population - i));
+        std::swap(pool[i], pool[j]);
+      }
+      pool.resize(count);
+      EXPECT_EQ(sparse, pool) << "seed=" << seed << " n=" << population;
+    }
+  }
+}
+
+TEST(RngStream, SparseSampleIsDistinctAndInRange) {
+  RngStream rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = rng.sample_without_replacement(10000, 16);
+    ASSERT_EQ(sample.size(), 16u);
+    const std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 16u);
+    for (const auto s : sample) EXPECT_LT(s, 10000u);
+  }
+}
+
+TEST(RngStream, SparseSampleIsUniform) {
+  // Population 64, count 4 exercises the sparse branch (4 * 8 <= 64);
+  // every index should appear with frequency count / population.
+  RngStream rng(29);
+  std::vector<int> counts(64, 0);
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto i : rng.sample_without_replacement(64, 4)) ++counts[i];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 4.0 / 64.0, 0.01);
   }
 }
 
