@@ -1,34 +1,47 @@
 #!/usr/bin/env python3
-"""CI gate for the hot-path benchmark artifact.
+"""CI gate for the machine-readable benchmark artifacts.
 
-Validates the JSON bench_hot_paths wrote (--json): it must parse, carry
-the expected schema, and show that the hot-path optimizations still pay
-for themselves — the Fenwick sampler at least 5x over the linear scan,
-cached oracle probes at least 3x over uncached — and that absolute
-sampler cost has not regressed more than 2x against the committed
-baseline (bench/BENCH_hot_paths.baseline.json).  Exits nonzero on any
-violation so the pipeline fails when a hot path regresses.
+Dispatches on the artifact's "schema" field:
 
-Speedup floors are ratios measured within one run, so they are immune to
-runner-speed variance; only the absolute-regression check compares
-across machines, hence its generous 2x allowance.
+mwr-bench-hot-paths-v1 (bench_hot_paths --json):
+  the hot-path optimizations must still pay for themselves — the Fenwick
+  sampler at least 5x over the linear scan, cached oracle probes at least
+  3x over uncached — and absolute sampler cost must not regress more than
+  2x against the committed baseline.
 
-Usage: check_bench.py <BENCH_hot_paths.json> <baseline.json>
+mwr-bench-spmd-scale-v1 (bench_spmd_scale --json):
+  the superstep engine must (a) produce bit-identical trajectories to
+  thread-per-rank, (b) be at least 5x faster at the crossover population
+  (2^10), (c) complete populations >= 4096 — the scale thread-per-rank
+  cannot reach — and (d) not regress engine throughput at the crossover
+  more than 3x against the committed baseline.
+
+Speedup floors and the bit-identity bit are measured within one run, so
+they are immune to runner-speed variance; only the absolute-regression
+checks compare across machines, hence their generous allowances.
+
+Usage: check_bench.py <current.json> <baseline.json>
 """
 import json
 import sys
 
-SCHEMA = "mwr-bench-hot-paths-v1"
-SECTIONS = ["sampler", "oracle", "table2_cycle"]
-SPEEDUP_FLOORS = {
+HOT_PATHS_SCHEMA = "mwr-bench-hot-paths-v1"
+SPMD_SCALE_SCHEMA = "mwr-bench-spmd-scale-v1"
+
+HOT_PATHS_SECTIONS = ["sampler", "oracle", "table2_cycle"]
+HOT_PATHS_SPEEDUP_FLOORS = {
     "sampler": 5.0,       # Fenwick draw vs linear scan at k = 2^14
     "oracle": 3.0,        # cached vs uncached phase-2 probe
     "table2_cycle": 1.5,  # full Standard-MWU cycle (n draws + update)
 }
 # Absolute ns-per-op may regress at most this factor vs the committed
 # baseline (cross-machine comparison, so deliberately loose).
-MAX_ABS_REGRESSION = 2.0
-REGRESSION_CHECKED = ["sampler"]
+HOT_PATHS_MAX_ABS_REGRESSION = 2.0
+HOT_PATHS_REGRESSION_CHECKED = ["sampler"]
+
+SPMD_SPEEDUP_FLOOR = 5.0        # engine vs thread-per-rank at 2^10
+SPMD_MIN_LARGE_POPULATION = 4096  # engine must complete at least this
+SPMD_MAX_ABS_REGRESSION = 3.0   # throughput, cross-machine, loose
 
 
 def fail(message):
@@ -39,12 +52,13 @@ def fail(message):
 def load(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
-    if doc.get("schema") != SCHEMA:
-        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
-    for name in SECTIONS:
+
+
+def validate_hot_paths(path, doc):
+    for name in HOT_PATHS_SECTIONS:
         section = doc.get(name)
         if not isinstance(section, dict):
             fail(f"{path}: missing section {name}")
@@ -52,36 +66,119 @@ def load(path):
             value = section.get(field)
             if not isinstance(value, (int, float)) or value <= 0:
                 fail(f"{path}: {name}.{field} is {value!r}, expected > 0")
-    return doc
 
 
-def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <BENCH_hot_paths.json> <baseline.json>")
-    current = load(sys.argv[1])
-    baseline = load(sys.argv[2])
-
-    for name, floor in SPEEDUP_FLOORS.items():
+def check_hot_paths(current, baseline):
+    for name, floor in HOT_PATHS_SPEEDUP_FLOORS.items():
         speedup = current[name]["speedup"]
         if speedup < floor:
             fail(f"{name} speedup {speedup:.2f}x is below the {floor}x floor")
 
-    for name in REGRESSION_CHECKED:
+    for name in HOT_PATHS_REGRESSION_CHECKED:
         now = current[name]["after_ns_per_op"]
         then = baseline[name]["after_ns_per_op"]
-        if now > then * MAX_ABS_REGRESSION:
+        if now > then * HOT_PATHS_MAX_ABS_REGRESSION:
             fail(
                 f"{name} ns-per-op regressed: {now:.1f} vs baseline "
-                f"{then:.1f} (allowed {MAX_ABS_REGRESSION}x)"
+                f"{then:.1f} (allowed {HOT_PATHS_MAX_ABS_REGRESSION}x)"
             )
 
     print(
         "bench gate: OK ("
         + ", ".join(
-            f"{name} {current[name]['speedup']:.2f}x" for name in SECTIONS
+            f"{name} {current[name]['speedup']:.2f}x"
+            for name in HOT_PATHS_SECTIONS
         )
         + ")"
     )
+
+
+def validate_spmd_scale(path, doc):
+    if not isinstance(doc.get("bit_identical"), bool):
+        fail(f"{path}: bit_identical missing or not a bool")
+    speedup = doc.get("speedup_at_crossover")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        fail(f"{path}: speedup_at_crossover is {speedup!r}, expected > 0")
+    scale = doc.get("scale")
+    if not isinstance(scale, list) or not scale:
+        fail(f"{path}: scale missing or empty")
+    for point in scale:
+        population = point.get("population")
+        throughput = point.get("engine_ranks_per_sec")
+        if not isinstance(population, int) or population <= 0:
+            fail(f"{path}: scale point population is {population!r}")
+        if not isinstance(throughput, (int, float)) or throughput <= 0:
+            fail(
+                f"{path}: engine_ranks_per_sec at population "
+                f"{population} is {throughput!r}, expected > 0"
+            )
+
+
+def crossover_throughput(doc):
+    crossover = doc.get("params", {}).get("crossover_population")
+    for point in doc["scale"]:
+        if point["population"] == crossover:
+            return point["engine_ranks_per_sec"]
+    fail(f"no scale point at the crossover population {crossover!r}")
+
+
+def check_spmd_scale(current, baseline):
+    if not current["bit_identical"]:
+        fail("engine trajectories are not bit-identical to thread-per-rank")
+
+    speedup = current["speedup_at_crossover"]
+    if speedup < SPMD_SPEEDUP_FLOOR:
+        fail(
+            f"engine speedup at crossover {speedup:.2f}x is below the "
+            f"{SPMD_SPEEDUP_FLOOR}x floor"
+        )
+
+    largest = max(p["population"] for p in current["scale"])
+    if largest < SPMD_MIN_LARGE_POPULATION:
+        fail(
+            f"largest engine population {largest} is below "
+            f"{SPMD_MIN_LARGE_POPULATION}"
+        )
+
+    now = crossover_throughput(current)
+    then = crossover_throughput(baseline)
+    if now * SPMD_MAX_ABS_REGRESSION < then:
+        fail(
+            f"engine throughput at crossover regressed: {now:.0f} ranks/s "
+            f"vs baseline {then:.0f} (allowed {SPMD_MAX_ABS_REGRESSION}x)"
+        )
+
+    print(
+        f"bench gate: OK (bit-identical, {speedup:.2f}x at crossover, "
+        f"population up to {largest}, {now:.0f} ranks/s)"
+    )
+
+
+CHECKERS = {
+    HOT_PATHS_SCHEMA: (validate_hot_paths, check_hot_paths),
+    SPMD_SCALE_SCHEMA: (validate_spmd_scale, check_spmd_scale),
+}
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <current.json> <baseline.json>")
+    current = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    schema = current.get("schema")
+    if schema not in CHECKERS:
+        fail(f"{sys.argv[1]}: unexpected schema {schema!r}")
+    if baseline.get("schema") != schema:
+        fail(
+            f"{sys.argv[2]}: baseline schema {baseline.get('schema')!r} "
+            f"does not match {schema!r}"
+        )
+
+    validate, check = CHECKERS[schema]
+    validate(sys.argv[1], current)
+    validate(sys.argv[2], baseline)
+    check(current, baseline)
 
 
 if __name__ == "__main__":

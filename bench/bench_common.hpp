@@ -21,6 +21,12 @@ inline costmodel::EvalConfig eval_config_from(const util::Cli& cli) {
   config.max_size = static_cast<std::size_t>(cli.get_int("max-size"));
   config.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (const auto cap = cli.get_int("max-population"); cap > 0) {
+    // Opt-in: the paper default keeps Table II's two k=16384 Distributed
+    // cells intractable (population ≈ 1.2M > 1M); raising the cap lets the
+    // superstep engine actually run them on a bounded thread pool.
+    config.mwu.max_population = static_cast<std::size_t>(cap);
+  }
   if (cli.get_flag("full")) {
     config.seeds = 100;
     config.max_size = 16384;

@@ -36,22 +36,15 @@ struct SpmdMetrics {
 // User-level tags for the SPMD drivers (below the collective tag space).
 constexpr int kTagObserveRequest = 100;
 constexpr int kTagObserveReply = 101;
-
-// Brackets a congestion-cycle close between two barriers so that no rank's
-// sends from the next phase leak into the closing cycle.
-void close_cycle(parallel::Comm& comm) {
-  comm.barrier();
-  if (comm.rank() == 0) comm.close_congestion_cycle();
-  comm.barrier();
-}
 }  // namespace
 
 ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
                                     const MwuConfig& config,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    parallel::RunPolicy policy) {
   const std::size_t n = config.num_agents;
   if (n == 0) throw std::invalid_argument("run_standard_spmd: no agents");
-  parallel::CommWorld world(n);
+  parallel::CommWorld world(n, policy);
   const CountingOracle counted(oracle);
 
   // Each rank advances an identical replica of the weight state: sampling
@@ -83,7 +76,10 @@ ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
       replica.apply_reward_counts(total_counts);
       ++iterations;
       if (comm.rank() == 0) metrics.cycles.add(1);
-      close_cycle(comm);
+      // The barrier's completion closes the congestion cycle — one
+      // synchronization per cycle instead of the barrier/close/barrier
+      // bracket, with identical statistics.
+      comm.barrier_close_cycle();
       if (replica.converged()) {
         converged = true;
         break;
@@ -108,13 +104,14 @@ ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
 ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
                                        const MwuConfig& config,
                                        std::uint64_t seed,
-                                       std::size_t population_override) {
+                                       std::size_t population_override,
+                                       parallel::RunPolicy policy) {
   const std::size_t population = population_override
                                      ? population_override
                                      : distributed_population(config);
   if (population == 0)
     throw std::invalid_argument("run_distributed_spmd: empty population");
-  parallel::CommWorld world(population);
+  parallel::CommWorld world(population, policy);
   const CountingOracle counted(oracle);
 
   ParallelMwuResult out;
@@ -201,7 +198,9 @@ ParallelMwuResult run_distributed_spmd(const CostOracle& oracle,
       }
       ++iterations;
       if (comm.rank() == 0) metrics.cycles.add(1);
-      close_cycle(comm);  // close the tracked (request) congestion cycle
+      // Close the tracked (request) congestion cycle inside the barrier —
+      // one synchronization per cycle, statistics unchanged.
+      comm.barrier_close_cycle();
       if (stop) {
         converged = true;
         break;

@@ -38,17 +38,26 @@ struct ParallelMwuResult {
 /// cycle; weights are replicated and advanced identically on every rank from
 /// the allreduced reward counts.  The oracle must be safe for concurrent
 /// sampling (distinct RngStreams per rank).
-[[nodiscard]] ParallelMwuResult run_standard_spmd(const CostOracle& oracle,
-                                                  const MwuConfig& config,
-                                                  std::uint64_t seed);
+///
+/// `policy` selects the execution substrate (thread-per-rank or the bounded
+/// superstep engine); the trajectory is bit-identical either way because
+/// every recv is (source, tag)-filtered over non-overtaking channels and
+/// all randomness lives in per-rank streams — the schedule cannot reorder
+/// what any rank observes.
+[[nodiscard]] ParallelMwuResult run_standard_spmd(
+    const CostOracle& oracle, const MwuConfig& config, std::uint64_t seed,
+    parallel::RunPolicy policy = {});
 
 /// Runs Distributed MWU with one rank per population member.  Population is
 /// taken from config via distributed_population() unless
-/// `population_override` is nonzero (tests keep it small: each member is a
-/// real thread here).  Only observation requests are congestion-tracked;
-/// replies and convergence snapshots are harness bookkeeping.
+/// `population_override` is nonzero (tests keep it small).  Under the
+/// default (auto) policy, populations beyond the worker pool run on the
+/// superstep engine — thousands of logical ranks on hardware_concurrency
+/// OS threads — with the same bit-identical-trajectory guarantee as above.
+/// Only observation requests are congestion-tracked; replies and
+/// convergence snapshots are harness bookkeeping.
 [[nodiscard]] ParallelMwuResult run_distributed_spmd(
     const CostOracle& oracle, const MwuConfig& config, std::uint64_t seed,
-    std::size_t population_override = 0);
+    std::size_t population_override = 0, parallel::RunPolicy policy = {});
 
 }  // namespace mwr::core

@@ -7,27 +7,37 @@
 namespace mwr::costmodel {
 
 namespace {
-// Fills one (dataset, kind) cell.  Replication seeds depend only on the
-// master seed, the kind, and the instance size — never on scheduling — so
-// the sweep is reproducible at any thread count.
-void fill_cell(EvalCell& cell, const datasets::Dataset& dataset,
-               const EvalConfig& config, core::MwuKind kind) {
+// One replication's contribution to a cell, computed independently of every
+// other (cell, seed) pair so the sweep can fan out at replication
+// granularity.  The seed depends only on the master seed, the kind, the
+// replication index, and the instance size — never on scheduling.
+struct SeedOutcome {
+  double iterations = 0.0;
+  double accuracy = 0.0;
+  double cpu_iterations = 0.0;
+  std::size_t cpus_per_cycle = 0;
+  bool converged = false;
+};
+
+SeedOutcome run_replication(const datasets::Dataset& dataset,
+                            const EvalConfig& config, core::MwuKind kind,
+                            std::size_t s) {
   const core::BernoulliOracle oracle(dataset.options);
   core::MwuConfig mwu = config.mwu;
   mwu.num_options = dataset.options.size();
   mwu.max_iterations = config.max_iterations;
-  for (std::size_t s = 0; s < config.seeds; ++s) {
-    util::RngStream rng(config.master_seed ^
-                        (0x9e3779b97f4a7c15ULL * (s + 1)) ^
-                        (static_cast<std::uint64_t>(kind) << 40) ^
-                        (cell.size * 0xc2b2ae3dULL));
-    const auto result = core::run_mwu(kind, oracle, mwu, std::move(rng));
-    cell.iterations.add(static_cast<double>(result.iterations));
-    cell.accuracy.add(dataset.options.accuracy_percent(result.best_option));
-    cell.cpu_iterations.add(static_cast<double>(result.cpu_iterations()));
-    cell.cpus_per_cycle = result.cpus_per_cycle;
-    if (result.converged) ++cell.converged_runs;
-  }
+  util::RngStream rng(config.master_seed ^
+                      (0x9e3779b97f4a7c15ULL * (s + 1)) ^
+                      (static_cast<std::uint64_t>(kind) << 40) ^
+                      (dataset.options.size() * 0xc2b2ae3dULL));
+  const auto result = core::run_mwu(kind, oracle, mwu, std::move(rng));
+  SeedOutcome out;
+  out.iterations = static_cast<double>(result.iterations);
+  out.accuracy = dataset.options.accuracy_percent(result.best_option);
+  out.cpu_iterations = static_cast<double>(result.cpu_iterations());
+  out.cpus_per_cycle = result.cpus_per_cycle;
+  out.converged = result.converged;
+  return out;
 }
 }  // namespace
 
@@ -58,16 +68,38 @@ std::vector<EvalCell> run_evaluation(const EvalConfig& config) {
     }
   }
 
-  const auto fill = [&](std::size_t index) {
-    EvalCell& cell = cells[index];
+  // Fan out at (cell, seed) granularity — config.seeds times more units
+  // than cells, so the pool stays busy even when one slow cell (large k,
+  // Distributed) dominates a cell-granular split.  Outcomes land in a
+  // flat slot array and are folded into the RunningStats serially in
+  // (cell, seed) order, so floating-point accumulation order — and hence
+  // every reported mean/stddev — is identical to the serial sweep.
+  const std::size_t seeds = config.seeds;
+  std::vector<SeedOutcome> outcomes(cells.size() * seeds);
+  const auto compute = [&](std::size_t unit) {
+    const std::size_t index = unit / seeds;
+    const EvalCell& cell = cells[index];
     if (cell.intractable) return;
-    fill_cell(cell, suite[index / 3], config, cell.kind);
+    outcomes[unit] =
+        run_replication(suite[index / 3], config, cell.kind, unit % seeds);
   };
   if (config.threads > 1) {
     parallel::ThreadPool workers(config.threads);
-    workers.parallel_for_index(cells.size(), fill);
+    workers.parallel_for_index(outcomes.size(), compute);
   } else {
-    for (std::size_t i = 0; i < cells.size(); ++i) fill(i);
+    for (std::size_t u = 0; u < outcomes.size(); ++u) compute(u);
+  }
+  for (std::size_t index = 0; index < cells.size(); ++index) {
+    EvalCell& cell = cells[index];
+    if (cell.intractable) continue;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const SeedOutcome& out = outcomes[index * seeds + s];
+      cell.iterations.add(out.iterations);
+      cell.accuracy.add(out.accuracy);
+      cell.cpu_iterations.add(out.cpu_iterations);
+      cell.cpus_per_cycle = out.cpus_per_cycle;
+      if (out.converged) ++cell.converged_runs;
+    }
   }
   return cells;
 }

@@ -8,14 +8,46 @@ CountingBarrier::CountingBarrier(std::size_t parties) : parties_(parties) {
   if (parties == 0) throw std::invalid_argument("barrier needs >= 1 party");
 }
 
-void CountingBarrier::arrive_and_wait() {
+void CountingBarrier::arrive_and_wait() { arrive_impl(nullptr); }
+
+void CountingBarrier::arrive_and_wait(
+    const std::function<void()>& on_completion) {
+  arrive_impl(&on_completion);
+}
+
+void CountingBarrier::arrive_impl(
+    const std::function<void()>* on_completion) {
   const auto arrival = std::chrono::steady_clock::now();
+  const CoopToken* coop = coop_current();
   std::unique_lock lock(mutex_);
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == parties_) {
     arrived_ = 0;
+    // All parties have arrived and none is released yet: the race-free
+    // slot for per-generation bookkeeping.
+    if (on_completion != nullptr) (*on_completion)();
     ++generation_;
+    std::vector<CoopToken> waiters = std::move(fiber_waiters_);
+    fiber_waiters_.clear();
+    total_wait_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      arrival)
+            .count();
+    if (coop != nullptr) coop->scheduler->note_superstep_boundary();
+    lock.unlock();
+    for (const CoopToken& waiter : waiters) waiter.wake();
     cv_.notify_all();
+    return;
+  }
+  if (coop != nullptr) {
+    // Fiber party: register for the generation flip and suspend the fiber
+    // instead of the worker thread.  Wakes can be spurious — re-check.
+    fiber_waiters_.push_back(*coop);
+    while (generation_ == my_generation) {
+      lock.unlock();
+      coop->scheduler->suspend_current();
+      lock.lock();
+    }
   } else {
     cv_.wait(lock, [&] { return generation_ != my_generation; });
   }

@@ -6,13 +6,26 @@
 // the synchronization itself, but the experiments also need to *count*
 // generations and measure how long agents wait — CountingBarrier wraps a
 // central (mutex + condvar) barrier with those counters.
+//
+// Parties may be OS threads (thread-per-rank CommWorld) or superstep-engine
+// fibers: a fiber party suspends cooperatively through parallel/coop.hpp,
+// making each completed generation a superstep boundary instead of P
+// parked threads.  The completion-callback overload runs a callable
+// exactly once per generation — by the last arriver, after everyone has
+// arrived and before anyone is released — which lets callers fold
+// per-cycle bookkeeping (congestion-cycle close) into the barrier instead
+// of paying a second synchronization for it.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <vector>
+
+#include "parallel/coop.hpp"
 
 namespace mwr::parallel {
 
@@ -26,6 +39,13 @@ class CountingBarrier {
   /// generation and wakes the rest.
   void arrive_and_wait();
 
+  /// Same, but the last arriver invokes `on_completion` after all parties
+  /// have arrived and before any is released — the single-synchronization
+  /// slot for per-cycle bookkeeping.  Every party of a generation must use
+  /// the same completion (or none plus one caller with it); the barrier
+  /// runs whichever completion the last arriver carried.
+  void arrive_and_wait(const std::function<void()>& on_completion);
+
   /// Number of fully-completed generations (synchronization rounds).
   [[nodiscard]] std::uint64_t generations() const;
 
@@ -37,12 +57,15 @@ class CountingBarrier {
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
 
  private:
+  void arrive_impl(const std::function<void()>* on_completion);
+
   const std::size_t parties_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t arrived_ = 0;
   std::uint64_t generation_ = 0;
   double total_wait_seconds_ = 0.0;
+  std::vector<CoopToken> fiber_waiters_;
 };
 
 }  // namespace mwr::parallel

@@ -1,11 +1,13 @@
 #include "parallel/comm.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/registry.hpp"
+#include "parallel/superstep.hpp"
 
 namespace mwr::parallel {
 
@@ -35,11 +37,17 @@ CommMetrics& comm_metrics() {
   static CommMetrics metrics;
   return metrics;
 }
+
+std::size_t resolved_worker_count(const RunPolicy& policy) {
+  if (policy.workers != 0) return policy.workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
 }  // namespace
 
 int Comm::size() const noexcept { return static_cast<int>(world_->size()); }
 
-void Comm::send(int destination, int tag, std::vector<double> payload) {
+void Comm::send(int destination, int tag, PayloadVec payload) {
   auto dst = static_cast<std::size_t>(destination);
   if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
   world_->tracker_.record(dst);
@@ -47,8 +55,7 @@ void Comm::send(int destination, int tag, std::vector<double> payload) {
   world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
 }
 
-void Comm::send_untracked(int destination, int tag,
-                          std::vector<double> payload) {
+void Comm::send_untracked(int destination, int tag, PayloadVec payload) {
   auto dst = static_cast<std::size_t>(destination);
   if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
   comm_metrics().messages_sent_untracked.add(1);
@@ -72,6 +79,15 @@ void Comm::close_congestion_cycle() {
       static_cast<double>(world_->tracker_.current_max()));
   metrics.congestion_cycles.add(1);
   world_->tracker_.end_cycle();
+}
+
+void Comm::barrier_close_cycle() {
+  // The last arriver closes the cycle inside the barrier's completion slot:
+  // every rank's sends of the cycle are already recorded (they arrived),
+  // none can send for the next one (none is released), so the captured
+  // per-cycle maximum is identical to the barrier/close/barrier bracket —
+  // at one synchronization instead of two.
+  world_->barrier_.arrive_and_wait([this] { close_congestion_cycle(); });
 }
 
 std::vector<double> Comm::broadcast(int root, std::vector<double> payload) {
@@ -105,7 +121,7 @@ std::vector<double> Comm::allreduce_sum(std::vector<double> payload) {
   const std::size_t width = payload.size();
   if (rank_ != 0) {
     send(0, kTagAllreduce, std::move(payload));
-    auto reduced = recv(0, kTagAllreduce).payload;
+    std::vector<double> reduced = recv(0, kTagAllreduce).payload;
     if (reduced.size() != width)
       throw std::invalid_argument("allreduce_sum: mismatched payload widths");
     return reduced;
@@ -174,12 +190,34 @@ std::vector<double> Comm::allreduce_tree_impl(std::vector<double> payload,
   return sum;
 }
 
-CommWorld::CommWorld(std::size_t size)
-    : mailboxes_(size), barrier_(size), tracker_(size) {
+CommWorld::CommWorld(std::size_t size, RunPolicy policy)
+    : policy_(policy), mailboxes_(size), barrier_(size), tracker_(size) {
   if (size == 0) throw std::invalid_argument("CommWorld needs >= 1 rank");
 }
 
 void CommWorld::run(const std::function<void(Comm&)>& body) {
+  switch (policy_.mode) {
+    case RunPolicy::Mode::kThreadPerRank:
+      run_thread_per_rank(body);
+      return;
+    case RunPolicy::Mode::kSuperstep:
+      run_superstep(body);
+      return;
+    case RunPolicy::Mode::kAuto:
+      // Small worlds fit the worker pool one-to-one: spawning real threads
+      // is no more oversubscribed than the engine's pool and skips the
+      // fiber machinery.  Beyond that, thread-per-rank degrades (and
+      // eventually fails to spawn) — multiplex.
+      if (size() > resolved_worker_count(policy_)) {
+        run_superstep(body);
+      } else {
+        run_thread_per_rank(body);
+      }
+      return;
+  }
+}
+
+void CommWorld::run_thread_per_rank(const std::function<void(Comm&)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(size());
   std::exception_ptr first_error;
@@ -197,6 +235,17 @@ void CommWorld::run(const std::function<void(Comm&)>& body) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void CommWorld::run_superstep(const std::function<void(Comm&)>& body) {
+  SuperstepEngine::Config config;
+  config.workers = policy_.workers;
+  config.stack_bytes = policy_.stack_bytes;
+  SuperstepEngine engine(size(), config);
+  engine.run([this, &body](int rank) {
+    Comm comm(*this, rank);
+    body(comm);
+  });
 }
 
 }  // namespace mwr::parallel

@@ -2,12 +2,17 @@
 // paper's algorithms need.
 //
 // Substitution note (DESIGN.md §2): the paper's Distributed MWU targets
-// distributed-memory clusters.  This container has no MPI runtime and a
-// single core, so we provide an MPI-shaped substrate over std::thread:
-// point-to-point send/recv (non-overtaking per channel), barrier,
-// broadcast, gather, and allreduce(sum).  Every delivered message is
-// attributed to its destination in a CongestionTracker, which is the
-// quantity the paper's communication analysis is actually about.
+// distributed-memory clusters.  This container has no MPI runtime, so we
+// provide an MPI-shaped substrate with two interchangeable execution
+// modes: classic one-OS-thread-per-rank, and the bounded-thread superstep
+// engine (parallel/superstep.hpp) that multiplexes logical ranks as
+// cooperative fibers over a fixed worker pool.  Point-to-point send/recv
+// (non-overtaking per channel), barrier, broadcast, gather, and
+// allreduce(sum) behave identically in both modes — seeded SPMD
+// trajectories are bit-identical, pinned by tests — but the engine scales
+// to thousands of ranks on a handful of hardware threads.  Every delivered
+// message is attributed to its destination in a CongestionTracker, which
+// is the quantity the paper's communication analysis is actually about.
 //
 // Usage follows the SPMD pattern of the LLNL MPI tutorial: construct a
 // CommWorld of `size` ranks, then run one function per rank, each receiving
@@ -23,11 +28,39 @@
 
 #include "parallel/barrier.hpp"
 #include "parallel/congestion.hpp"
+#include "parallel/fiber.hpp"
 #include "parallel/mailbox.hpp"
 
 namespace mwr::parallel {
 
 class CommWorld;
+
+/// How CommWorld::run maps logical ranks onto OS threads.
+struct RunPolicy {
+  enum class Mode {
+    /// Superstep engine when the world outnumbers the worker pool,
+    /// thread-per-rank otherwise (small worlds carry no oversubscription
+    /// risk and skip the fiber machinery).
+    kAuto,
+    /// One OS thread per rank — the historical substrate.
+    kThreadPerRank,
+    /// Cooperative fibers on a bounded worker pool, always.
+    kSuperstep,
+  };
+
+  Mode mode = Mode::kAuto;
+  /// Superstep worker threads; 0 = hardware_concurrency.
+  std::size_t workers = 0;
+  /// Per-fiber stack reservation (committed lazily by the kernel).
+  std::size_t stack_bytes = kDefaultFiberStackBytes;
+
+  [[nodiscard]] static RunPolicy thread_per_rank() {
+    return RunPolicy{Mode::kThreadPerRank, 0, kDefaultFiberStackBytes};
+  }
+  [[nodiscard]] static RunPolicy superstep(std::size_t workers = 0) {
+    return RunPolicy{Mode::kSuperstep, workers, kDefaultFiberStackBytes};
+  }
+};
 
 /// Per-rank handle: the API each SPMD agent programs against.
 class Comm {
@@ -38,13 +71,16 @@ class Comm {
   [[nodiscard]] int size() const noexcept;
 
   /// Point-to-point send (asynchronous: enqueues into the destination's
-  /// mailbox and records congestion at the destination).
-  void send(int destination, int tag, std::vector<double> payload);
+  /// mailbox and records congestion at the destination).  Payloads up to
+  /// PayloadVec::kInlineDoubles ride inside the envelope — no per-message
+  /// heap allocation for the empty/observe-sized messages that dominate at
+  /// large populations.
+  void send(int destination, int tag, PayloadVec payload);
 
   /// Like send(), but exempt from congestion accounting.  Experiments use
   /// this for harness bookkeeping (replies, convergence snapshots) so the
   /// tracker measures only the algorithm's own communication pattern.
-  void send_untracked(int destination, int tag, std::vector<double> payload);
+  void send_untracked(int destination, int tag, PayloadVec payload);
 
   /// Blocking receive with optional source/tag filters.
   [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
@@ -60,8 +96,17 @@ class Comm {
   /// message count into the tracker statistics and resets the counters.
   /// Call from exactly one rank, bracketed by barriers so no send() races
   /// the capture:  barrier(); if (rank()==0) close_congestion_cycle();
-  /// barrier();
+  /// barrier();  — or use barrier_close_cycle(), which pays a single
+  /// synchronization for the same effect.
   void close_congestion_cycle();
+
+  /// Barrier whose completion closes the congestion cycle: the last
+  /// arriving rank performs the close after every rank's sends of the
+  /// cycle are recorded and before any rank can send for the next one.
+  /// All ranks call this once per cycle; it replaces the
+  /// barrier/close/barrier bracket at half the synchronization cost and
+  /// with identical congestion statistics.
+  void barrier_close_cycle();
 
   /// Root's payload is distributed to every rank; all ranks return it.
   [[nodiscard]] std::vector<double> broadcast(int root,
@@ -104,12 +149,16 @@ class Comm {
 /// Owns the mailboxes, barrier, and congestion tracker shared by all ranks.
 class CommWorld {
  public:
-  explicit CommWorld(std::size_t size);
+  explicit CommWorld(std::size_t size, RunPolicy policy = {});
 
   [[nodiscard]] std::size_t size() const noexcept { return mailboxes_.size(); }
+  [[nodiscard]] const RunPolicy& policy() const noexcept { return policy_; }
 
-  /// Spawns one thread per rank running `body(comm)`, and joins them all.
+  /// Runs one logical rank per `body(comm)` — as real threads or as
+  /// engine fibers per the policy — and returns when all ranks finished.
   /// Exceptions from any rank propagate to the caller (first one wins).
+  /// In superstep mode a world where every unfinished rank is blocked is
+  /// detected, unwound, and reported instead of hanging.
   void run(const std::function<void(Comm&)>& body);
 
   [[nodiscard]] const CongestionTracker& congestion() const noexcept {
@@ -118,6 +167,10 @@ class CommWorld {
 
  private:
   friend class Comm;
+  void run_thread_per_rank(const std::function<void(Comm&)>& body);
+  void run_superstep(const std::function<void(Comm&)>& body);
+
+  RunPolicy policy_;
   std::vector<Mailbox> mailboxes_;
   CountingBarrier barrier_;
   CongestionTracker tracker_;

@@ -1,0 +1,15 @@
+#include "parallel/coop.hpp"
+
+namespace mwr::parallel {
+
+namespace {
+thread_local const CoopToken* current_token = nullptr;
+}  // namespace
+
+const CoopToken* coop_current() noexcept { return current_token; }
+
+void coop_set_current(const CoopToken* token) noexcept {
+  current_token = token;
+}
+
+}  // namespace mwr::parallel

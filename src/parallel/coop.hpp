@@ -1,0 +1,59 @@
+// Cooperative-blocking hook between the low-level synchronization
+// primitives (Mailbox, CountingBarrier) and the superstep engine.
+//
+// When a logical rank executes as a fiber on the engine's worker pool, a
+// blocking wait must suspend the *fiber*, not the OS thread — otherwise a
+// handful of blocked ranks would starve the bounded worker pool and
+// deadlock the world.  Rather than teaching Mailbox/CountingBarrier about
+// the engine (an upward dependency), the engine publishes a thread-local
+// CoopToken while a fiber runs; the primitives consult it and route their
+// wait through suspend_current()/wake() when present, falling back to
+// their historical condition-variable paths on plain OS threads
+// (thread-per-rank mode, standalone use, tests).
+#pragma once
+
+namespace mwr::parallel {
+
+/// The scheduler-facing half of the hook, implemented by SuperstepEngine.
+class CoopScheduler {
+ public:
+  virtual ~CoopScheduler() = default;
+
+  /// Suspends the calling fiber until wake() is delivered for its rank.
+  /// May return spuriously (a stale wake from an earlier registration), so
+  /// callers must re-check their predicate in a loop.  Must only be called
+  /// from a fiber owned by this scheduler.  Throws SuperstepAbort when the
+  /// engine is unwinding blocked ranks (deadlock / fatal error), which
+  /// callers must let propagate.
+  virtual void suspend_current() = 0;
+
+  /// Marks `rank` runnable (or remembers the wake if it is currently
+  /// running / already runnable).  Thread-safe; callable from any fiber or
+  /// OS thread, including while the target is between registering a waiter
+  /// and actually suspending.
+  virtual void wake(int rank) = 0;
+
+  /// Barrier completions report here so the engine can count superstep
+  /// boundaries (obs metric spmd.engine.supersteps).
+  virtual void note_superstep_boundary() noexcept = 0;
+};
+
+/// Identity of the fiber currently executing on this OS thread.  A copy of
+/// the token is what a primitive stores as a registered waiter: it stays
+/// valid for the engine's whole run() (tokens live in engine-owned storage).
+struct CoopToken {
+  CoopScheduler* scheduler = nullptr;
+  int rank = -1;
+
+  void wake() const { scheduler->wake(rank); }
+};
+
+/// Token of the fiber running on the calling OS thread, or nullptr when the
+/// caller is a plain thread (use the blocking condvar path then).
+[[nodiscard]] const CoopToken* coop_current() noexcept;
+
+/// Engine-internal: installs/clears the thread-local token around each
+/// fiber slice.
+void coop_set_current(const CoopToken* token) noexcept;
+
+}  // namespace mwr::parallel

@@ -7,16 +7,26 @@ namespace mwr::parallel {
 namespace {
 // Receive-side telemetry across every mailbox in the process: deliveries
 // (successful matched takes) and the deepest backlog any single mailbox
-// accumulated — the observable face of receiver congestion.
+// accumulated — the observable face of receiver congestion.  The payload
+// counters split enqueued messages by representation: inline payloads are
+// exactly the messages that would have paid a heap allocation under the
+// old vector-payload envelope (empty payloads never allocated and still
+// don't), spilled payloads still do.
 struct MailboxMetrics {
   obs::Counter& messages_delivered;
   obs::Gauge& queue_depth_hwm;
+  obs::Counter& payload_inline_msgs;
+  obs::Counter& payload_spilled_msgs;
 
   MailboxMetrics()
       : messages_delivered(obs::MetricsRegistry::global().counter(
             "mailbox.messages_delivered")),
         queue_depth_hwm(obs::MetricsRegistry::global().gauge(
-            "mailbox.queue_depth_hwm")) {}
+            "mailbox.queue_depth_hwm")),
+        payload_inline_msgs(obs::MetricsRegistry::global().counter(
+            "mailbox.payload_inline_msgs")),
+        payload_spilled_msgs(obs::MetricsRegistry::global().counter(
+            "mailbox.payload_spilled_msgs")) {}
 };
 
 MailboxMetrics& mailbox_metrics() {
@@ -26,13 +36,29 @@ MailboxMetrics& mailbox_metrics() {
 }  // namespace
 
 void Mailbox::push(Message message) {
+  MailboxMetrics& metrics = mailbox_metrics();
+  if (!message.payload.empty()) {
+    if (message.payload.spilled()) {
+      metrics.payload_spilled_msgs.add(1);
+    } else {
+      metrics.payload_inline_msgs.add(1);
+    }
+  }
   std::size_t depth = 0;
+  CoopToken waiter{};
+  bool wake_fiber = false;
   {
     std::scoped_lock lock(mutex_);
     queue_.push_back(std::move(message));
     depth = queue_.size();
+    if (has_waiter_) {
+      waiter = waiter_;
+      has_waiter_ = false;
+      wake_fiber = true;
+    }
   }
-  mailbox_metrics().queue_depth_hwm.record_max(static_cast<double>(depth));
+  metrics.queue_depth_hwm.record_max(static_cast<double>(depth));
+  if (wake_fiber) waiter.wake();
   cv_.notify_all();
 }
 
@@ -50,6 +76,23 @@ std::optional<Message> Mailbox::take_locked(int source, int tag) {
 }
 
 Message Mailbox::recv(int source, int tag) {
+  if (const CoopToken* coop = coop_current()) {
+    // Cooperative path: the owning rank runs as a fiber.  Register as the
+    // mailbox's waiter under the lock (so a concurrent push cannot miss
+    // us), then suspend the fiber; wakes may be spurious, so re-check.
+    for (;;) {
+      {
+        std::scoped_lock lock(mutex_);
+        if (auto m = take_locked(source, tag)) {
+          mailbox_metrics().messages_delivered.add(1);
+          return std::move(*m);
+        }
+        waiter_ = *coop;
+        has_waiter_ = true;
+      }
+      coop->scheduler->suspend_current();
+    }
+  }
   std::unique_lock lock(mutex_);
   for (;;) {
     if (auto m = take_locked(source, tag)) {

@@ -1,19 +1,33 @@
 // Multi-producer single-consumer mailbox: the per-rank receive queue of the
 // in-process communicator.
 //
-// Payloads are vectors of doubles plus a small integer tag, which covers
-// everything the MWU algorithms exchange (weights, results, adopted
+// Payloads are small sequences of doubles plus a small integer tag, which
+// covers everything the MWU algorithms exchange (weights, results, adopted
 // options).  Blocking receive supports tag filtering; source filtering is
 // expressed by encoding the source rank in the message envelope so the
 // congestion tracker can attribute load.
+//
+// Two properties matter at large populations:
+//  - payloads up to kInlineDoubles live inside the envelope (small-buffer
+//    optimization), so the dominant message shapes of the Distributed SPMD
+//    driver — empty observe requests and one-double replies — never touch
+//    the heap per message;
+//  - a receiver running as a fiber on the superstep engine suspends
+//    cooperatively (parallel/coop.hpp) instead of parking its OS thread,
+//    so thousands of blocked ranks cost nothing but their registration.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <vector>
+
+#include "parallel/coop.hpp"
 
 namespace mwr::parallel {
 
@@ -21,17 +35,95 @@ namespace mwr::parallel {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Message payload with a small-buffer optimization: up to kInlineDoubles
+/// values are stored inline, longer payloads spill to a heap vector (whose
+/// buffer is stolen when constructed from a vector rvalue).  Exposes the
+/// subset of the vector interface the substrate and its callers use, plus
+/// implicit conversion back to std::vector<double> at collective
+/// boundaries.
+class PayloadVec {
+ public:
+  static constexpr std::size_t kInlineDoubles = 4;
+
+  PayloadVec() noexcept = default;
+
+  PayloadVec(std::initializer_list<double> values) {
+    if (values.size() <= kInlineDoubles) {
+      size_ = values.size();
+      std::size_t i = 0;
+      for (const double v : values) inline_[i++] = v;
+    } else {
+      size_ = values.size();
+      heap_.assign(values.begin(), values.end());
+    }
+  }
+
+  // Implicit by design: send sites hand over std::vector payloads exactly
+  // as they did before the small-buffer representation existed.
+  PayloadVec(std::vector<double> values) {  // NOLINT(google-explicit-constructor)
+    size_ = values.size();
+    if (size_ <= kInlineDoubles) {
+      for (std::size_t i = 0; i < size_; ++i) inline_[i] = values[i];
+    } else {
+      heap_ = std::move(values);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool spilled() const noexcept {
+    return size_ > kInlineDoubles;
+  }
+
+  [[nodiscard]] const double* data() const noexcept {
+    return spilled() ? heap_.data() : inline_.data();
+  }
+  [[nodiscard]] double* data() noexcept {
+    return spilled() ? heap_.data() : inline_.data();
+  }
+
+  [[nodiscard]] const double* begin() const noexcept { return data(); }
+  [[nodiscard]] const double* end() const noexcept { return data() + size_; }
+
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] double at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("PayloadVec::at");
+    return data()[i];
+  }
+
+  [[nodiscard]] std::vector<double> to_vector() && {
+    if (spilled()) return std::move(heap_);
+    return std::vector<double>(inline_.begin(), inline_.begin() + size_);
+  }
+  [[nodiscard]] std::vector<double> to_vector() const& {
+    return std::vector<double>(begin(), end());
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator std::vector<double>() && { return std::move(*this).to_vector(); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator std::vector<double>() const& { return to_vector(); }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<double, kInlineDoubles> inline_{};
+  std::vector<double> heap_;  ///< engaged iff size_ > kInlineDoubles.
+};
+
 /// One message envelope: who sent it, what kind it is, and its payload.
 struct Message {
   int source = 0;
   int tag = 0;
-  std::vector<double> payload;
+  PayloadVec payload;
 };
 
 /// Thread-safe FIFO mailbox.  Multiple senders may push concurrently; the
 /// owning rank consumes.  recv() matches the *oldest* message satisfying the
 /// (source, tag) filter, which mirrors MPI's non-overtaking guarantee per
-/// (source, tag) channel.
+/// (source, tag) channel.  When the receiver is a superstep-engine fiber,
+/// recv() suspends the fiber instead of blocking the worker thread.
 class Mailbox {
  public:
   /// Enqueues a message and wakes the receiver.
@@ -53,6 +145,10 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  // Single-consumer: at most one registered cooperative waiter (the owning
+  // rank's fiber), armed under mutex_ by recv and disarmed by push.
+  CoopToken waiter_{};
+  bool has_waiter_ = false;
 };
 
 }  // namespace mwr::parallel

@@ -1,0 +1,231 @@
+#include "parallel/superstep.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace mwr::parallel {
+
+namespace {
+// Engine telemetry across every engine in the process: superstep (barrier)
+// boundaries crossed, the deepest runnable backlog (how much logical
+// parallelism the bounded pool had to absorb), and total fiber slices.
+struct EngineMetrics {
+  obs::Counter& supersteps;
+  obs::Gauge& runnable_ranks;
+  obs::Counter& fiber_slices;
+
+  EngineMetrics()
+      : supersteps(obs::MetricsRegistry::global().counter(
+            "spmd.engine.supersteps")),
+        runnable_ranks(obs::MetricsRegistry::global().gauge(
+            "spmd.engine.runnable_ranks")),
+        fiber_slices(obs::MetricsRegistry::global().counter(
+            "spmd.engine.fiber_slices")) {}
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const auto hw = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace
+
+struct SuperstepEngine::Impl {
+  enum class State : unsigned char { kRunnable, kRunning, kBlocked, kFinished };
+
+  struct RankSlot {
+    std::unique_ptr<Fiber> fiber;
+    CoopToken token;
+    State state = State::kRunnable;
+    // A wake delivered while the rank was running (registered a waiter but
+    // had not suspended yet): consumed when the rank next tries to block.
+    bool wake_pending = false;
+  };
+
+  std::size_t nranks;
+  std::size_t nworkers;
+  std::size_t stack_bytes;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<RankSlot> slots;
+  std::deque<int> runnable;
+  std::size_t unfinished = 0;
+  std::size_t running = 0;
+  bool aborting = false;
+  std::size_t aborted_ranks = 0;
+  std::exception_ptr first_error;
+
+  // Requires lock held.  Makes `rank` runnable and pokes one worker.
+  void enqueue_locked(int rank) {
+    slots[static_cast<std::size_t>(rank)].state = State::kRunnable;
+    runnable.push_back(rank);
+    engine_metrics().runnable_ranks.record_max(
+        static_cast<double>(runnable.size()));
+    cv.notify_one();
+  }
+
+  // Requires lock held.  If every unfinished rank is blocked, no progress
+  // is possible: unwind them by requeuing with the abort flag set, so their
+  // suspension point throws SuperstepAbort and the stacks unwind cleanly.
+  void check_deadlock_locked() {
+    if (aborting || running != 0 || !runnable.empty() || unfinished == 0)
+      return;
+    aborting = true;
+    for (std::size_t r = 0; r < slots.size(); ++r) {
+      if (slots[r].state == State::kBlocked) {
+        ++aborted_ranks;
+        enqueue_locked(static_cast<int>(r));
+      }
+    }
+    cv.notify_all();
+  }
+
+  void worker_loop() {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      cv.wait(lock, [&] { return !runnable.empty() || unfinished == 0; });
+      if (unfinished == 0) return;
+      const int rank = runnable.front();
+      runnable.pop_front();
+      RankSlot& slot = slots[static_cast<std::size_t>(rank)];
+      slot.state = State::kRunning;
+      ++running;
+      lock.unlock();
+
+      coop_set_current(&slot.token);
+      slot.fiber->resume();
+      coop_set_current(nullptr);
+      engine_metrics().fiber_slices.add(1);
+
+      lock.lock();
+      --running;
+      if (slot.fiber->finished()) {
+        slot.state = State::kFinished;
+        if (--unfinished == 0) cv.notify_all();
+      } else if (slot.wake_pending) {
+        // The wake raced the suspension; run the rank again so it
+        // re-checks its predicate.
+        slot.wake_pending = false;
+        enqueue_locked(rank);
+      } else {
+        slot.state = State::kBlocked;
+      }
+      check_deadlock_locked();
+    }
+  }
+};
+
+SuperstepEngine::SuperstepEngine(std::size_t ranks, Config config)
+    : impl_(std::make_unique<Impl>()) {
+  if (ranks == 0)
+    throw std::invalid_argument("SuperstepEngine needs >= 1 rank");
+  impl_->nranks = ranks;
+  impl_->nworkers = resolve_workers(config.workers);
+  impl_->stack_bytes = config.stack_bytes;
+}
+
+SuperstepEngine::~SuperstepEngine() = default;
+
+std::size_t SuperstepEngine::ranks() const noexcept { return impl_->nranks; }
+
+std::size_t SuperstepEngine::workers() const noexcept {
+  return impl_->nworkers;
+}
+
+void SuperstepEngine::run(const std::function<void(int)>& body) {
+  Impl& impl = *impl_;
+  impl.slots.resize(impl.nranks);
+  for (std::size_t r = 0; r < impl.nranks; ++r) {
+    Impl::RankSlot& slot = impl.slots[r];
+    slot.token = CoopToken{this, static_cast<int>(r)};
+    slot.fiber = std::make_unique<Fiber>(
+        [&impl, &body, r] {
+          try {
+            body(static_cast<int>(r));
+          } catch (const SuperstepAbort&) {
+            // Engine-initiated unwind of a blocked rank; not a body error.
+          } catch (...) {
+            std::scoped_lock lock(impl.mutex);
+            if (!impl.first_error)
+              impl.first_error = std::current_exception();
+          }
+        },
+        impl.stack_bytes);
+    impl.runnable.push_back(static_cast<int>(r));
+  }
+  impl.unfinished = impl.nranks;
+  engine_metrics().runnable_ranks.record_max(
+      static_cast<double>(impl.runnable.size()));
+
+  std::vector<std::thread> workers;
+  const std::size_t spawn = std::min(impl.nworkers, impl.nranks);
+  workers.reserve(spawn);
+  for (std::size_t w = 0; w < spawn; ++w) {
+    workers.emplace_back([&impl] { impl.worker_loop(); });
+  }
+  for (auto& worker : workers) worker.join();
+
+  if (impl.first_error) std::rethrow_exception(impl.first_error);
+  if (impl.aborted_ranks != 0) {
+    throw std::runtime_error(
+        "superstep engine: deadlock — " + std::to_string(impl.aborted_ranks) +
+        " of " + std::to_string(impl.nranks) +
+        " ranks blocked with no runnable peer (unwound)");
+  }
+}
+
+void SuperstepEngine::suspend_current() {
+  Impl& impl = *impl_;
+  Fiber* fiber = Fiber::current();
+  {
+    std::scoped_lock lock(impl.mutex);
+    if (impl.aborting) throw SuperstepAbort{};
+  }
+  fiber->yield();
+  // Resumed (possibly on another worker).  Under abort the resume exists
+  // only to unwind this stack.
+  {
+    std::scoped_lock lock(impl.mutex);
+    if (impl.aborting) throw SuperstepAbort{};
+  }
+}
+
+void SuperstepEngine::wake(int rank) {
+  Impl& impl = *impl_;
+  std::scoped_lock lock(impl.mutex);
+  Impl::RankSlot& slot = impl.slots[static_cast<std::size_t>(rank)];
+  switch (slot.state) {
+    case Impl::State::kBlocked:
+      impl.enqueue_locked(rank);
+      break;
+    case Impl::State::kRunning:
+      slot.wake_pending = true;
+      break;
+    case Impl::State::kRunnable:
+      // Already queued: it will re-check its predicate when it runs.
+      break;
+    case Impl::State::kFinished:
+      // Stale wake for a rank that aborted or returned; ignore.
+      break;
+  }
+}
+
+void SuperstepEngine::note_superstep_boundary() noexcept {
+  engine_metrics().supersteps.add(1);
+}
+
+}  // namespace mwr::parallel

@@ -1,0 +1,71 @@
+// Bounded-thread superstep execution engine.
+//
+// Runs P logical ranks as cooperative fibers multiplexed onto W worker
+// threads (default: hardware_concurrency), so population scale is a
+// parameter instead of an OS-thread wall.  Blocking points in the
+// communication substrate (Mailbox::recv, CountingBarrier) suspend the
+// *fiber* through the coop hook (parallel/coop.hpp); barriers thereby
+// become superstep boundaries — between two barriers the engine simply
+// drains the runnable set — instead of P parked OS threads.
+//
+// Determinism: the engine adds no randomness and imposes no ordering the
+// thread-per-rank substrate did not already allow.  Every recv is filtered
+// by (source, tag) over non-overtaking per-channel queues and every rank
+// draws from its private RngStream, so any legal interleaving — including
+// the engine's, at any worker count — produces bit-identical trajectories
+// (pinned by tests/test_superstep.cpp and the driver bit-identity tests).
+//
+// Failure handling improves on thread-per-rank: when every unfinished rank
+// is blocked (a rank threw while peers wait on it, or a genuine protocol
+// deadlock), the engine unwinds the blocked fibers by making their
+// suspension throw SuperstepAbort — stacks run their destructors — and
+// run() rethrows the first body exception, or reports the deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "parallel/coop.hpp"
+#include "parallel/fiber.hpp"
+
+namespace mwr::parallel {
+
+/// Thrown through a blocked rank's stack when the engine unwinds it; only
+/// the engine itself catches this.  Deliberately not derived from
+/// std::exception so rank bodies' catch(const std::exception&) handlers
+/// cannot swallow the unwind.
+struct SuperstepAbort {};
+
+class SuperstepEngine final : public CoopScheduler {
+ public:
+  struct Config {
+    std::size_t workers = 0;  ///< 0 = hardware_concurrency.
+    std::size_t stack_bytes = kDefaultFiberStackBytes;
+  };
+
+  SuperstepEngine(std::size_t ranks, Config config);
+  ~SuperstepEngine() override;
+
+  SuperstepEngine(const SuperstepEngine&) = delete;
+  SuperstepEngine& operator=(const SuperstepEngine&) = delete;
+
+  /// Runs body(rank) for every rank in [0, ranks) to completion on the
+  /// worker pool.  Rethrows the first exception any body threw; throws
+  /// std::runtime_error when unfinished ranks deadlocked (after unwinding
+  /// them).  One-shot: a second run() is not supported.
+  void run(const std::function<void(int)>& body);
+
+  [[nodiscard]] std::size_t ranks() const noexcept;
+  [[nodiscard]] std::size_t workers() const noexcept;
+
+  // CoopScheduler interface (called from primitives via coop_current()).
+  void suspend_current() override;
+  void wake(int rank) override;
+  void note_superstep_boundary() noexcept override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mwr::parallel

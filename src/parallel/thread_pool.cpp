@@ -29,6 +29,10 @@ PoolMetrics& pool_metrics() {
   static PoolMetrics metrics;
   return metrics;
 }
+
+// The pool whose worker_loop the current thread is executing, if any.
+// parallel_for_index consults it to detect nested use of the same pool.
+thread_local const ThreadPool* current_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -63,6 +67,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 
 void ThreadPool::worker_loop() {
   PoolMetrics& metrics = pool_metrics();
+  current_worker_pool = this;
   for (;;) {
     Task task;
     {
@@ -84,6 +89,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for_index(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  if (current_worker_pool == this) {
+    // Nested call from one of our own tasks: run inline.  Submitting back
+    // into the pool and blocking on the futures can deadlock — with all
+    // workers inside such calls, the chunks sit queued behind the tasks
+    // that are waiting for them.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
   const std::size_t chunks = std::min(count, size());
   const std::size_t per_chunk = (count + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;

@@ -56,6 +56,11 @@ class ThreadPool {
   /// chunks, and waits for completion.  fn must be safe to invoke
   /// concurrently for distinct i.  Exceptions from any chunk are rethrown
   /// (the first one encountered).
+  ///
+  /// Re-entrant: when called from inside one of this pool's own tasks, the
+  /// range runs inline on the calling worker instead of being submitted.
+  /// Submitting would deadlock a saturated pool — every worker blocked in
+  /// f.get() on chunks queued behind the very tasks doing the blocking.
   void parallel_for_index(std::size_t count,
                           const std::function<void(std::size_t)>& fn);
 

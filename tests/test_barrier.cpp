@@ -78,5 +78,31 @@ TEST(CountingBarrier, PartiesAccessor) {
   EXPECT_EQ(barrier.parties(), 7u);
 }
 
+TEST(CountingBarrier, CompletionRunsOncePerGenerationBeforeRelease) {
+  constexpr std::size_t kParties = 4;
+  constexpr int kRounds = 25;
+  CountingBarrier barrier(kParties);
+  std::atomic<int> arrived{0};
+  std::atomic<int> completions{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        arrived.fetch_add(1);
+        barrier.arrive_and_wait([&] {
+          // The completion sees every party arrived and none released:
+          // the per-generation bookkeeping slot.
+          EXPECT_EQ(arrived.load() % kParties, 0u);
+          completions.fetch_add(1);
+        });
+        EXPECT_GE(completions.load(), r + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions.load(), kRounds);
+  EXPECT_EQ(barrier.generations(), static_cast<std::uint64_t>(kRounds));
+}
+
 }  // namespace
 }  // namespace mwr::parallel

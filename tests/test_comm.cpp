@@ -127,6 +127,64 @@ TEST(Comm, CongestionAttributesToDestination) {
   EXPECT_DOUBLE_EQ(world.congestion().max_per_cycle().mean(), 2.0);
 }
 
+TEST(Comm, BarrierCloseCycleMatchesBracketedClose) {
+  // The fused barrier_close_cycle must produce exactly the congestion
+  // statistics of the historical barrier / rank-0 close / barrier bracket,
+  // while completing one barrier generation per cycle instead of two.
+  constexpr std::size_t kRanks = 6;
+  constexpr int kCycles = 4;
+  const auto pattern = [](Comm& comm, int cycle) {
+    // Deterministic skew: in cycle c, rank r sends r + c messages to rank
+    // (r + c) % size, so per-cycle maxima vary across cycles.
+    for (int i = 0; i < comm.rank() + cycle; ++i) {
+      comm.send((comm.rank() + cycle) % comm.size(), 1, {});
+    }
+    while (comm.try_recv()) {
+    }
+  };
+
+  CommWorld bracketed(kRanks);
+  bracketed.run([&](Comm& comm) {
+    for (int c = 0; c < kCycles; ++c) {
+      pattern(comm, c);
+      comm.barrier();
+      if (comm.rank() == 0) comm.close_congestion_cycle();
+      comm.barrier();
+    }
+  });
+
+  CommWorld fused(kRanks);
+  fused.run([&](Comm& comm) {
+    for (int c = 0; c < kCycles; ++c) {
+      pattern(comm, c);
+      comm.barrier_close_cycle();
+    }
+  });
+
+  EXPECT_EQ(fused.congestion().total_messages(),
+            bracketed.congestion().total_messages());
+  EXPECT_EQ(fused.congestion().max_per_cycle().count(),
+            bracketed.congestion().max_per_cycle().count());
+  EXPECT_DOUBLE_EQ(fused.congestion().max_per_cycle().mean(),
+                   bracketed.congestion().max_per_cycle().mean());
+  EXPECT_DOUBLE_EQ(fused.congestion().max_per_cycle().max(),
+                   bracketed.congestion().max_per_cycle().max());
+}
+
+TEST(CommWorld, ExplicitPoliciesRunAllRanks) {
+  for (const RunPolicy policy :
+       {RunPolicy::thread_per_rank(), RunPolicy::superstep(1),
+        RunPolicy::superstep(2)}) {
+    CommWorld world(5, policy);
+    std::atomic<int> mask{0};
+    world.run([&](Comm& comm) {
+      mask.fetch_or(1 << comm.rank());
+      comm.barrier();
+    });
+    EXPECT_EQ(mask.load(), 0b11111);
+  }
+}
+
 TEST(Comm, UntrackedSendSkipsCongestion) {
   CommWorld world(2);
   world.run([&](Comm& comm) {

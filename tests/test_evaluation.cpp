@@ -73,6 +73,50 @@ TEST(RunEvaluation, DeterministicPerMasterSeed) {
   }
 }
 
+TEST(RunEvaluation, ParallelSweepIsBitIdenticalToSerial) {
+  // The sweep fans out at (cell, seed) granularity but folds outcomes into
+  // the RunningStats serially in (cell, seed) order, so every statistic —
+  // including stddev, which is sensitive to accumulation order — matches
+  // the serial sweep exactly at any thread count.
+  auto config = tiny_config();
+  config.seeds = 3;
+  config.threads = 1;
+  const auto serial = run_evaluation(config);
+  for (const std::size_t threads : {2u, 4u}) {
+    config.threads = threads;
+    const auto parallel = run_evaluation(config);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].iterations.mean(), serial[i].iterations.mean());
+      EXPECT_EQ(parallel[i].iterations.stddev(),
+                serial[i].iterations.stddev());
+      EXPECT_EQ(parallel[i].accuracy.mean(), serial[i].accuracy.mean());
+      EXPECT_EQ(parallel[i].accuracy.stddev(), serial[i].accuracy.stddev());
+      EXPECT_EQ(parallel[i].cpu_iterations.mean(),
+                serial[i].cpu_iterations.mean());
+      EXPECT_EQ(parallel[i].converged_runs, serial[i].converged_runs);
+    }
+  }
+}
+
+TEST(RunEvaluation, RaisedPopulationCapMakesFullScaleCellsTractable) {
+  // The paper-fidelity default (1M cap) keeps the two k=16384 Distributed
+  // cells intractable; an explicit opt-in cap above the required
+  // population (16384 * 75 ≈ 1.2M) makes them runnable.
+  auto config = tiny_config();
+  config.seeds = 1;
+  config.max_size = 16384;
+  config.max_iterations = 1;  // tractability is the point, not convergence
+  config.mwu.max_population = 2'000'000;
+  const auto cells = run_evaluation(config);
+  for (const auto& cell : cells) {
+    EXPECT_FALSE(cell.intractable) << cell.dataset;
+    if (cell.kind == core::MwuKind::kDistributed) {
+      EXPECT_EQ(cell.iterations.count(), 1u) << cell.dataset;
+    }
+  }
+}
+
 TEST(FindCell, LooksUpByDatasetAndKind) {
   const auto cells = run_evaluation(tiny_config());
   const auto& cell = find_cell(cells, "random64", core::MwuKind::kSlate);

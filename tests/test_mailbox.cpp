@@ -95,5 +95,53 @@ TEST(Mailbox, ConcurrentProducersLoseNothing) {
   EXPECT_EQ(box.pending(), 0u);
 }
 
+TEST(PayloadVec, SmallPayloadsStayInline) {
+  const PayloadVec empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.spilled());
+
+  const PayloadVec small{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(small.size(), 4u);
+  EXPECT_FALSE(small.spilled());
+  EXPECT_DOUBLE_EQ(small[0], 1.0);
+  EXPECT_DOUBLE_EQ(small.at(3), 4.0);
+  EXPECT_THROW((void)small.at(4), std::out_of_range);
+}
+
+TEST(PayloadVec, LargePayloadsSpillToHeap) {
+  const PayloadVec large{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(large.size(), 5u);
+  EXPECT_TRUE(large.spilled());
+  EXPECT_DOUBLE_EQ(large[4], 5.0);
+}
+
+TEST(PayloadVec, RoundTripsThroughVectorAtEitherSize) {
+  for (const std::size_t n : {0u, 3u, 4u, 5u, 64u}) {
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+    PayloadVec payload(values);
+    EXPECT_EQ(payload.size(), n);
+    EXPECT_EQ(payload.spilled(), n > PayloadVec::kInlineDoubles);
+    const std::vector<double> back = std::move(payload);
+    EXPECT_EQ(back, values);
+  }
+}
+
+TEST(PayloadVec, IteratorsCoverTheWholePayload) {
+  const PayloadVec payload{2.0, 4.0, 8.0};
+  double sum = 0.0;
+  for (const double v : payload) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 14.0);
+}
+
+TEST(Mailbox, InlinePayloadSurvivesQueueing) {
+  Mailbox box;
+  box.push({0, 0, {1.5, 2.5}});
+  const Message m = box.recv();
+  EXPECT_FALSE(m.payload.spilled());
+  EXPECT_DOUBLE_EQ(m.payload[0], 1.5);
+  EXPECT_DOUBLE_EQ(m.payload[1], 2.5);
+}
+
 }  // namespace
 }  // namespace mwr::parallel

@@ -84,6 +84,83 @@ TEST(DistributedSpmd, CongestionStaysNearBallsIntoBinsBound) {
   EXPECT_GT(run.max_congestion_per_cycle.mean(), 1.0);
 }
 
+// The superstep engine must reproduce the thread-per-rank trajectory bit
+// for bit: every recv is (source, tag)-filtered over non-overtaking
+// channels and all randomness is per-rank, so no legal schedule — at any
+// worker count — can change what a rank observes.
+void expect_same_run(const ParallelMwuResult& a, const ParallelMwuResult& b,
+                     const char* label) {
+  EXPECT_EQ(a.result.iterations, b.result.iterations) << label;
+  EXPECT_EQ(a.result.converged, b.result.converged) << label;
+  EXPECT_EQ(a.result.best_option, b.result.best_option) << label;
+  EXPECT_EQ(a.result.probabilities, b.result.probabilities) << label;
+  EXPECT_EQ(a.result.evaluations, b.result.evaluations) << label;
+  EXPECT_EQ(a.total_messages, b.total_messages) << label;
+  EXPECT_EQ(a.max_congestion_per_cycle.count(),
+            b.max_congestion_per_cycle.count())
+      << label;
+  EXPECT_EQ(a.max_congestion_per_cycle.mean(),
+            b.max_congestion_per_cycle.mean())
+      << label;
+  EXPECT_EQ(a.max_congestion_per_cycle.max(), b.max_congestion_per_cycle.max())
+      << label;
+}
+
+TEST(StandardSpmd, SuperstepEngineIsBitIdenticalToThreadPerRank) {
+  OptionSet options("easy", {0.2, 0.8, 0.3});
+  const BernoulliOracle oracle(options);
+  MwuConfig config;
+  config.num_options = 3;
+  config.num_agents = 8;
+  config.max_iterations = 60;
+  for (const std::uint64_t seed : {11u, 29u, 47u}) {
+    const auto reference = run_standard_spmd(
+        oracle, config, seed, parallel::RunPolicy::thread_per_rank());
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      const auto engine = run_standard_spmd(
+          oracle, config, seed, parallel::RunPolicy::superstep(workers));
+      expect_same_run(reference, engine, "standard");
+    }
+  }
+}
+
+TEST(DistributedSpmd, SuperstepEngineIsBitIdenticalToThreadPerRank) {
+  OptionSet options("flat", std::vector<double>(6, 0.5));
+  const BernoulliOracle oracle(options);
+  MwuConfig config;
+  config.num_options = 6;
+  config.max_iterations = 12;
+  config.plurality_threshold = 1.1;  // fixed work on every substrate
+  constexpr std::size_t kPopulation = 40;
+  for (const std::uint64_t seed : {5u, 23u}) {
+    const auto reference =
+        run_distributed_spmd(oracle, config, seed, kPopulation,
+                             parallel::RunPolicy::thread_per_rank());
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      const auto engine =
+          run_distributed_spmd(oracle, config, seed, kPopulation,
+                               parallel::RunPolicy::superstep(workers));
+      expect_same_run(reference, engine, "distributed");
+    }
+  }
+}
+
+TEST(DistributedSpmd, EngineRunsPopulationsBeyondThreadScale) {
+  // A population this size would need 2048 OS threads on the historical
+  // substrate; the engine runs it on a bounded pool.
+  OptionSet options("flat", std::vector<double>(4, 0.5));
+  const BernoulliOracle oracle(options);
+  MwuConfig config;
+  config.num_options = 4;
+  config.max_iterations = 2;
+  config.plurality_threshold = 1.1;
+  const auto run = run_distributed_spmd(oracle, config, 31, 2048,
+                                        parallel::RunPolicy::superstep(2));
+  EXPECT_EQ(run.result.iterations, 2u);
+  EXPECT_EQ(run.result.cpus_per_cycle, 2048u);
+  EXPECT_EQ(run.result.evaluations, 2u * 2048u);
+}
+
 TEST(DistributedSpmd, FarLessCongestedThanStandardAtSameScale) {
   OptionSet options("easy", {0.3, 0.7});
   const BernoulliOracle oracle(options);

@@ -102,6 +102,43 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Regression: parallel_for_index called from inside one of the pool's own
+  // tasks used to submit chunks back into the pool and block on their
+  // futures — with every worker inside such a call, the chunks sat queued
+  // behind the waiting tasks forever.  A pool of size 1 makes the hang
+  // deterministic; the fix runs the nested range inline.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(64);
+  auto outer = pool.submit([&] {
+    pool.parallel_for_index(hits.size(),
+                            [&](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  outer.get();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForInsideParallelFor) {
+  // Same hazard through the other entry point: every outer chunk fans out
+  // again on the same saturated pool.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for_index(8, [&](std::size_t) {
+    pool.parallel_for_index(8, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForStillPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto outer = pool.submit([&] {
+    pool.parallel_for_index(4, [](std::size_t i) {
+      if (i == 2) throw std::runtime_error("nested failure");
+    });
+  });
+  EXPECT_THROW(outer.get(), std::runtime_error);
+}
+
 TEST(ThreadPool, SubmitFromInsideATask) {
   ThreadPool pool(2);
   auto outer = pool.submit([&] {
