@@ -6,7 +6,7 @@ namespace mwr::apr {
 
 std::optional<MutationSemantics> OracleCache::lookup(std::uint64_t key) const {
   Shard& shard = shard_for(key);
-  const std::scoped_lock lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return std::nullopt;
   return it->second;
@@ -14,7 +14,7 @@ std::optional<MutationSemantics> OracleCache::lookup(std::uint64_t key) const {
 
 void OracleCache::store(std::uint64_t key, MutationSemantics value) {
   Shard& shard = shard_for(key);
-  const std::scoped_lock lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   shard.map.emplace(key, value);
 }
 

@@ -32,11 +32,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::apr {
 
@@ -208,8 +210,12 @@ class OracleCache {
 
   static constexpr std::size_t kShards = 16;
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, MutationSemantics> map;
+    mutable util::Mutex mutex;
+    // Keyed lookup/insert only — never iterated, so the unordered layout
+    // can't leak nondeterminism into probe results (mwr_lint's
+    // unordered-iteration rule keeps it that way).
+    std::unordered_map<std::uint64_t, MutationSemantics> map
+        MWR_GUARDED_BY(mutex);
   };
   [[nodiscard]] Shard& shard_for(std::uint64_t key) const {
     // Mutation keys concentrate their entropy in the low bits (donor) and

@@ -7,14 +7,14 @@
 namespace mwr::obs {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -22,7 +22,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
@@ -39,14 +39,14 @@ std::vector<double> MetricsRegistry::default_latency_bounds() {
 }
 
 void MetricsRegistry::reset() {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
 JsonValue MetricsRegistry::to_json() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   JsonValue root = JsonValue::object();
   root.set("schema", "mwr-metrics-v1");
 

@@ -12,12 +12,14 @@
 #pragma once
 
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/serialization.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::obs {
 
@@ -33,21 +35,24 @@ class MetricsRegistry {
 
   /// Finds or creates the named metric.  References remain valid until
   /// the registry is destroyed.
-  [[nodiscard]] Counter& counter(const std::string& name);
-  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Counter& counter(const std::string& name)
+      MWR_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge& gauge(const std::string& name) MWR_EXCLUDES(mutex_);
   /// For an existing histogram the bounds argument is ignored — the first
   /// registration wins (concurrent users must agree on the layout).
   [[nodiscard]] Histogram& histogram(const std::string& name,
-                                     std::vector<double> upper_bounds);
+                                     std::vector<double> upper_bounds)
+      MWR_EXCLUDES(mutex_);
   /// Histogram with the default latency layout (1 microsecond to ~2
   /// minutes, powers of 4), the layout for every *_seconds metric.
-  [[nodiscard]] Histogram& histogram(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name)
+      MWR_EXCLUDES(mutex_);
 
   [[nodiscard]] static std::vector<double> default_latency_bounds();
 
   /// Zeroes every registered metric; handles stay valid.  Call between
   /// independent runs sharing one process (bench replications, tests).
-  void reset();
+  void reset() MWR_EXCLUDES(mutex_);
 
   /// Snapshot of every metric:
   ///   {"schema": "mwr-metrics-v1",
@@ -55,7 +60,7 @@ class MetricsRegistry {
   ///    "gauges": {name: value, ...},
   ///    "histograms": {name: {"le": [bounds...], "counts": [... overflow],
   ///                          "count": n, "sum": s, "min": m, "max": M}}}
-  [[nodiscard]] JsonValue to_json() const;
+  [[nodiscard]] JsonValue to_json() const MWR_EXCLUDES(mutex_);
   [[nodiscard]] std::string to_json_string() const;  ///< pretty-printed.
   /// Writes the pretty-printed snapshot; throws std::runtime_error on I/O
   /// failure.
@@ -65,10 +70,16 @@ class MetricsRegistry {
   [[nodiscard]] static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps are guarded; the *metrics* they point to are deliberately
+  // not — handles mutate lock-free (relaxed atomics) by design, and the
+  // ordered std::map keeps JSON snapshots deterministically sorted.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MWR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MWR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MWR_GUARDED_BY(mutex_);
 };
 
 }  // namespace mwr::obs

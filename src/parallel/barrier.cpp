@@ -19,7 +19,7 @@ void CountingBarrier::arrive_impl(
     const std::function<void()>* on_completion) {
   const auto arrival = std::chrono::steady_clock::now();
   const CoopToken* coop = coop_current();
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == parties_) {
     arrived_ = 0;
@@ -49,7 +49,7 @@ void CountingBarrier::arrive_impl(
       lock.lock();
     }
   } else {
-    cv_.wait(lock, [&] { return generation_ != my_generation; });
+    while (generation_ == my_generation) cv_.wait(mutex_);
   }
   total_wait_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - arrival)
@@ -57,12 +57,12 @@ void CountingBarrier::arrive_impl(
 }
 
 std::uint64_t CountingBarrier::generations() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return generation_;
 }
 
 double CountingBarrier::total_wait_seconds() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_wait_seconds_;
 }
 

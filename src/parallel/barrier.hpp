@@ -18,14 +18,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "parallel/coop.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::parallel {
 
@@ -37,35 +37,41 @@ class CountingBarrier {
 
   /// Blocks until all parties arrive.  The last arriver flips the
   /// generation and wakes the rest.
-  void arrive_and_wait();
+  void arrive_and_wait() MWR_EXCLUDES(mutex_);
 
   /// Same, but the last arriver invokes `on_completion` after all parties
   /// have arrived and before any is released — the single-synchronization
   /// slot for per-cycle bookkeeping.  Every party of a generation must use
   /// the same completion (or none plus one caller with it); the barrier
   /// runs whichever completion the last arriver carried.
-  void arrive_and_wait(const std::function<void()>& on_completion);
+  void arrive_and_wait(const std::function<void()>& on_completion)
+      MWR_EXCLUDES(mutex_);
 
   /// Number of fully-completed generations (synchronization rounds).
-  [[nodiscard]] std::uint64_t generations() const;
+  [[nodiscard]] std::uint64_t generations() const MWR_EXCLUDES(mutex_);
 
   /// Sum over all arrive_and_wait calls of the time spent blocked, in
   /// seconds.  This is the "threads wait for the slowest one" cost that
   /// motivates safe-mutation precomputation (paper §III-C).
-  [[nodiscard]] double total_wait_seconds() const;
+  [[nodiscard]] double total_wait_seconds() const MWR_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
 
  private:
-  void arrive_impl(const std::function<void()>* on_completion);
+  /// A fiber party drops mutex_ around each coop suspension (the engine
+  /// must be free to run peers that need the barrier) and re-takes it to
+  /// re-check the generation — the release/acquire pair lives on the
+  /// relockable MutexLock so the analysis tracks it.
+  void arrive_impl(const std::function<void()>* on_completion)
+      MWR_EXCLUDES(mutex_);
 
   const std::size_t parties_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t arrived_ = 0;
-  std::uint64_t generation_ = 0;
-  double total_wait_seconds_ = 0.0;
-  std::vector<CoopToken> fiber_waiters_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::size_t arrived_ MWR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ MWR_GUARDED_BY(mutex_) = 0;
+  double total_wait_seconds_ MWR_GUARDED_BY(mutex_) = 0.0;
+  std::vector<CoopToken> fiber_waiters_ MWR_GUARDED_BY(mutex_);
 };
 
 }  // namespace mwr::parallel

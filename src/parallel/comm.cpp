@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/registry.hpp"
 #include "parallel/superstep.hpp"
+#include "util/sync.hpp"
 
 namespace mwr::parallel {
 
@@ -221,14 +221,14 @@ void CommWorld::run_thread_per_rank(const std::function<void(Comm&)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(size());
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
   for (std::size_t r = 0; r < size(); ++r) {
     threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
       Comm comm(*this, static_cast<int>(r));
       try {
         body(comm);
       } catch (...) {
-        std::scoped_lock lock(error_mutex);
+        util::MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

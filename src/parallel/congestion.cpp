@@ -24,7 +24,13 @@ void CongestionTracker::end_cycle() {
   for (auto& c : counts_) {
     max_count = std::max(max_count, c->exchange(0, std::memory_order_relaxed));
   }
+  const util::MutexLock lock(stats_mutex_);
   max_per_cycle_.add(static_cast<double>(max_count));
+}
+
+util::RunningStats CongestionTracker::max_per_cycle() const {
+  const util::MutexLock lock(stats_mutex_);
+  return max_per_cycle_;
 }
 
 std::uint64_t CongestionTracker::current_max() const noexcept {

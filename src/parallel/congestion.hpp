@@ -12,10 +12,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/stats.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::parallel {
 
@@ -32,7 +33,7 @@ class CongestionTracker {
   /// Closes the current cycle: captures the heaviest-hit node's count into
   /// the running statistics and zeroes the counters.  Must not race with
   /// record() — callers close cycles at barrier points.
-  void end_cycle();
+  void end_cycle() MWR_EXCLUDES(stats_mutex_);
 
   /// Heaviest-hit node count in the *current* (open) cycle.
   [[nodiscard]] std::uint64_t current_max() const noexcept;
@@ -41,9 +42,13 @@ class CongestionTracker {
   [[nodiscard]] std::uint64_t current_count(std::size_t node) const;
 
   /// Statistics over closed cycles of the per-cycle maximum congestion.
-  [[nodiscard]] const util::RunningStats& max_per_cycle() const noexcept {
-    return max_per_cycle_;
-  }
+  /// Returns a snapshot by value: the accumulator is written by end_cycle()
+  /// (the barrier's completion slot) while monitoring threads may read
+  /// mid-run, so handing out a reference would publish a torn Welford
+  /// state — the exact written-under-one-mutex-read-under-none defect the
+  /// static-analysis bring-up audit flagged here.
+  [[nodiscard]] util::RunningStats max_per_cycle() const
+      MWR_EXCLUDES(stats_mutex_);
 
   /// Total messages across all nodes and cycles (including the open one).
   [[nodiscard]] std::uint64_t total_messages() const noexcept;
@@ -54,7 +59,8 @@ class CongestionTracker {
   // unique_ptr<atomic[]> rather than vector<atomic> (atomics are not
   // movable); sized once at construction.
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> counts_;
-  util::RunningStats max_per_cycle_;
+  mutable util::Mutex stats_mutex_;
+  util::RunningStats max_per_cycle_ MWR_GUARDED_BY(stats_mutex_);
   std::atomic<std::uint64_t> total_{0};
 };
 

@@ -48,7 +48,7 @@ void Mailbox::push(Message message) {
   CoopToken waiter{};
   bool wake_fiber = false;
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push_back(std::move(message));
     depth = queue_.size();
     if (has_waiter_) {
@@ -79,11 +79,13 @@ Message Mailbox::recv(int source, int tag) {
   if (const CoopToken* coop = coop_current()) {
     // Cooperative path: the owning rank runs as a fiber.  Register as the
     // mailbox's waiter under the lock (so a concurrent push cannot miss
-    // us), then suspend the fiber; wakes may be spurious, so re-check.
+    // us), release the lock completely, then suspend the fiber across the
+    // coop-scheduler seam; wakes may be spurious, so re-check.
     for (;;) {
       {
-        std::scoped_lock lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (auto m = take_locked(source, tag)) {
+          lock.unlock();
           mailbox_metrics().messages_delivered.add(1);
           return std::move(*m);
         }
@@ -93,21 +95,23 @@ Message Mailbox::recv(int source, int tag) {
       coop->scheduler->suspend_current();
     }
   }
-  std::unique_lock lock(mutex_);
-  for (;;) {
-    if (auto m = take_locked(source, tag)) {
-      lock.unlock();
-      mailbox_metrics().messages_delivered.add(1);
-      return std::move(*m);
+  std::optional<Message> taken;
+  {
+    util::MutexLock lock(mutex_);
+    for (;;) {
+      taken = take_locked(source, tag);
+      if (taken) break;
+      cv_.wait(mutex_);
     }
-    cv_.wait(lock);
   }
+  mailbox_metrics().messages_delivered.add(1);
+  return std::move(*taken);
 }
 
 std::optional<Message> Mailbox::try_recv(int source, int tag) {
   std::optional<Message> taken;
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     taken = take_locked(source, tag);
   }
   if (taken) mailbox_metrics().messages_delivered.add(1);
@@ -115,7 +119,7 @@ std::optional<Message> Mailbox::try_recv(int source, int tag) {
 }
 
 std::size_t Mailbox::pending() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return queue_.size();
 }
 

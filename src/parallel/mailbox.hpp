@@ -18,16 +18,16 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <initializer_list>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "parallel/coop.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::parallel {
 
@@ -127,28 +127,35 @@ struct Message {
 class Mailbox {
  public:
   /// Enqueues a message and wakes the receiver.
-  void push(Message message);
+  void push(Message message) MWR_EXCLUDES(mutex_);
 
   /// Blocks until a matching message arrives, then removes and returns it.
-  [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
+  /// On the cooperative (fiber) path the mailbox lock is fully released
+  /// before the fiber suspends across the coop-scheduler seam and
+  /// re-acquired on resume — the waiter registration under mutex_ is what
+  /// keeps the wake from being lost in between.
+  [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag)
+      MWR_EXCLUDES(mutex_);
 
   /// Non-blocking probe-and-take; std::nullopt when nothing matches.
   [[nodiscard]] std::optional<Message> try_recv(int source = kAnySource,
-                                                int tag = kAnyTag);
+                                                int tag = kAnyTag)
+      MWR_EXCLUDES(mutex_);
 
   /// Messages currently queued (racy by nature; for diagnostics).
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const MWR_EXCLUDES(mutex_);
 
  private:
-  [[nodiscard]] std::optional<Message> take_locked(int source, int tag);
+  [[nodiscard]] std::optional<Message> take_locked(int source, int tag)
+      MWR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Message> queue_ MWR_GUARDED_BY(mutex_);
   // Single-consumer: at most one registered cooperative waiter (the owning
   // rank's fiber), armed under mutex_ by recv and disarmed by push.
-  CoopToken waiter_{};
-  bool has_waiter_ = false;
+  CoopToken waiter_ MWR_GUARDED_BY(mutex_){};
+  bool has_waiter_ MWR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mwr::parallel

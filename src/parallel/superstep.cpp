@@ -1,15 +1,15 @@
 #include "parallel/superstep.hpp"
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::parallel {
 
@@ -59,18 +59,28 @@ struct SuperstepEngine::Impl {
   std::size_t nworkers;
   std::size_t stack_bytes;
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::vector<RankSlot> slots;
-  std::deque<int> runnable;
-  std::size_t unfinished = 0;
-  std::size_t running = 0;
-  bool aborting = false;
-  std::size_t aborted_ranks = 0;
-  std::exception_ptr first_error;
+  // Engine shutdown lock ordering: `mutex` is the innermost lock — no
+  // fiber body code runs while a worker holds it (fibers resume only
+  // after the worker drops it), so it can never invert against the
+  // Mailbox/CountingBarrier locks a rank body takes.
+  util::Mutex mutex;
+  util::CondVar cv;
+  // `slots` is structurally written (resize, fiber/token setup) only in
+  // run()'s pre-spawn section, under the lock for the analyzer's benefit;
+  // per-slot state/wake_pending mutate under the lock for real.  A worker
+  // resumes `slot.fiber` through a reference taken under the lock while
+  // the slot is in State::kRunning, which the state machine makes
+  // exclusive.
+  std::vector<RankSlot> slots MWR_GUARDED_BY(mutex);
+  std::deque<int> runnable MWR_GUARDED_BY(mutex);
+  std::size_t unfinished MWR_GUARDED_BY(mutex) = 0;
+  std::size_t running MWR_GUARDED_BY(mutex) = 0;
+  bool aborting MWR_GUARDED_BY(mutex) = false;
+  std::size_t aborted_ranks MWR_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error MWR_GUARDED_BY(mutex);
 
-  // Requires lock held.  Makes `rank` runnable and pokes one worker.
-  void enqueue_locked(int rank) {
+  // Makes `rank` runnable and pokes one worker.
+  void enqueue_locked(int rank) MWR_REQUIRES(mutex) {
     slots[static_cast<std::size_t>(rank)].state = State::kRunnable;
     runnable.push_back(rank);
     engine_metrics().runnable_ranks.record_max(
@@ -78,10 +88,10 @@ struct SuperstepEngine::Impl {
     cv.notify_one();
   }
 
-  // Requires lock held.  If every unfinished rank is blocked, no progress
-  // is possible: unwind them by requeuing with the abort flag set, so their
-  // suspension point throws SuperstepAbort and the stacks unwind cleanly.
-  void check_deadlock_locked() {
+  // If every unfinished rank is blocked, no progress is possible: unwind
+  // them by requeuing with the abort flag set, so their suspension point
+  // throws SuperstepAbort and the stacks unwind cleanly.
+  void check_deadlock_locked() MWR_REQUIRES(mutex) {
     if (aborting || running != 0 || !runnable.empty() || unfinished == 0)
       return;
     aborting = true;
@@ -94,10 +104,10 @@ struct SuperstepEngine::Impl {
     cv.notify_all();
   }
 
-  void worker_loop() {
-    std::unique_lock lock(mutex);
+  void worker_loop() MWR_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     for (;;) {
-      cv.wait(lock, [&] { return !runnable.empty() || unfinished == 0; });
+      while (runnable.empty() && unfinished != 0) cv.wait(mutex);
       if (unfinished == 0) return;
       const int rank = runnable.front();
       runnable.pop_front();
@@ -148,28 +158,34 @@ std::size_t SuperstepEngine::workers() const noexcept {
 
 void SuperstepEngine::run(const std::function<void(int)>& body) {
   Impl& impl = *impl_;
-  impl.slots.resize(impl.nranks);
-  for (std::size_t r = 0; r < impl.nranks; ++r) {
-    Impl::RankSlot& slot = impl.slots[r];
-    slot.token = CoopToken{this, static_cast<int>(r)};
-    slot.fiber = std::make_unique<Fiber>(
-        [&impl, &body, r] {
-          try {
-            body(static_cast<int>(r));
-          } catch (const SuperstepAbort&) {
-            // Engine-initiated unwind of a blocked rank; not a body error.
-          } catch (...) {
-            std::scoped_lock lock(impl.mutex);
-            if (!impl.first_error)
-              impl.first_error = std::current_exception();
-          }
-        },
-        impl.stack_bytes);
-    impl.runnable.push_back(static_cast<int>(r));
+  {
+    // Setup runs before any worker exists; the lock is uncontended and
+    // exists so the analyzer sees every slots/runnable write guarded.
+    util::MutexLock lock(impl.mutex);
+    impl.slots.resize(impl.nranks);
+    for (std::size_t r = 0; r < impl.nranks; ++r) {
+      Impl::RankSlot& slot = impl.slots[r];
+      slot.token = CoopToken{this, static_cast<int>(r)};
+      slot.fiber = std::make_unique<Fiber>(
+          [&impl, &body, r] {
+            try {
+              body(static_cast<int>(r));
+            } catch (const SuperstepAbort&) {
+              // Engine-initiated unwind of a blocked rank; not a body
+              // error.
+            } catch (...) {
+              util::MutexLock error_lock(impl.mutex);
+              if (!impl.first_error)
+                impl.first_error = std::current_exception();
+            }
+          },
+          impl.stack_bytes);
+      impl.runnable.push_back(static_cast<int>(r));
+    }
+    impl.unfinished = impl.nranks;
+    engine_metrics().runnable_ranks.record_max(
+        static_cast<double>(impl.runnable.size()));
   }
-  impl.unfinished = impl.nranks;
-  engine_metrics().runnable_ranks.record_max(
-      static_cast<double>(impl.runnable.size()));
 
   std::vector<std::thread> workers;
   const std::size_t spawn = std::min(impl.nworkers, impl.nranks);
@@ -179,10 +195,17 @@ void SuperstepEngine::run(const std::function<void(int)>& body) {
   }
   for (auto& worker : workers) worker.join();
 
-  if (impl.first_error) std::rethrow_exception(impl.first_error);
-  if (impl.aborted_ranks != 0) {
+  std::exception_ptr first_error;
+  std::size_t aborted_ranks = 0;
+  {
+    util::MutexLock lock(impl.mutex);
+    first_error = impl.first_error;
+    aborted_ranks = impl.aborted_ranks;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (aborted_ranks != 0) {
     throw std::runtime_error(
-        "superstep engine: deadlock — " + std::to_string(impl.aborted_ranks) +
+        "superstep engine: deadlock — " + std::to_string(aborted_ranks) +
         " of " + std::to_string(impl.nranks) +
         " ranks blocked with no runnable peer (unwound)");
   }
@@ -192,21 +215,21 @@ void SuperstepEngine::suspend_current() {
   Impl& impl = *impl_;
   Fiber* fiber = Fiber::current();
   {
-    std::scoped_lock lock(impl.mutex);
+    util::MutexLock lock(impl.mutex);
     if (impl.aborting) throw SuperstepAbort{};
   }
   fiber->yield();
   // Resumed (possibly on another worker).  Under abort the resume exists
   // only to unwind this stack.
   {
-    std::scoped_lock lock(impl.mutex);
+    util::MutexLock lock(impl.mutex);
     if (impl.aborting) throw SuperstepAbort{};
   }
 }
 
 void SuperstepEngine::wake(int rank) {
   Impl& impl = *impl_;
-  std::scoped_lock lock(impl.mutex);
+  util::MutexLock lock(impl.mutex);
   Impl::RankSlot& slot = impl.slots[static_cast<std::size_t>(rank)];
   switch (slot.state) {
     case Impl::State::kBlocked:

@@ -44,6 +44,11 @@ class SuperstepEngine final : public CoopScheduler {
   };
 
   SuperstepEngine(std::size_t ranks, Config config);
+  /// Trivially destroys the engine state.  run() joins every worker before
+  /// returning, so by the time the destructor can legally run no thread
+  /// holds the engine lock and no fiber stack is live — there is no
+  /// shutdown lock ordering to get wrong (the engine lock itself is
+  /// innermost by construction; see the Impl::mutex note in the .cpp).
   ~SuperstepEngine() override;
 
   SuperstepEngine(const SuperstepEngine&) = delete;

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "obs/registry.hpp"
@@ -44,8 +45,14 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Shutdown ordering: a pool worker destroying its own pool would join
+  // itself — the one ordering the inline nested-parallel_for_index path
+  // cannot reach, and the destructor's MWR_EXCLUDES(mutex_) already rules
+  // out a caller arriving with the queue lock held.
+  assert(current_worker_pool != this &&
+         "~ThreadPool called from one of its own workers (self-join)");
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -56,7 +63,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
   PoolMetrics& metrics = pool_metrics();
   std::size_t depth = 0;
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
     queue_.push(Task{std::move(fn), std::chrono::steady_clock::now()});
     depth = queue_.size();
@@ -71,8 +78,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ && drained
       task = std::move(queue_.front());
       queue_.pop();

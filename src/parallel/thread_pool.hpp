@@ -13,14 +13,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mwr::parallel {
 
@@ -30,8 +31,13 @@ class ThreadPool {
   /// Spawns `num_threads` workers (minimum 1).
   explicit ThreadPool(std::size_t num_threads);
 
-  /// Drains outstanding tasks, then joins all workers.
-  ~ThreadPool();
+  /// Drains outstanding tasks, then joins all workers.  Shutdown lock
+  /// ordering: takes mutex_ only to set the stop flag, releases it before
+  /// joining — so the caller must not hold mutex_ (MWR_EXCLUDES), and must
+  /// not be one of this pool's own workers (self-join; asserted at
+  /// runtime).  Nested parallel_for_index calls run inline on their worker
+  /// and therefore never own the destructor path.
+  ~ThreadPool() MWR_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -62,7 +68,8 @@ class ThreadPool {
   /// Submitting would deadlock a saturated pool — every worker blocked in
   /// f.get() on chunks queued behind the very tasks doing the blocking.
   void parallel_for_index(std::size_t count,
-                          const std::function<void(std::size_t)>& fn);
+                          const std::function<void(std::size_t)>& fn)
+      MWR_EXCLUDES(mutex_);
 
  private:
   // Queue entries carry their enqueue time so the worker can attribute
@@ -74,15 +81,15 @@ class ThreadPool {
 
   /// Pushes the type-erased task, records queue-depth telemetry, and
   /// wakes one worker.  Throws std::runtime_error after stop.
-  void enqueue(std::function<void()> fn);
+  void enqueue(std::function<void()> fn) MWR_EXCLUDES(mutex_);
 
-  void worker_loop();
+  void worker_loop() MWR_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::queue<Task> queue_ MWR_GUARDED_BY(mutex_);
+  bool stopping_ MWR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mwr::parallel

@@ -1,0 +1,55 @@
+#include "util/build_info.hpp"
+
+#include <sstream>
+
+// The CMake configuration stamps these onto mwr_util; default them so the
+// TU still compiles standalone (e.g. under -fsyntax-only checks).
+#ifndef MWR_BUILD_VERSION
+#define MWR_BUILD_VERSION "0.0.0"
+#endif
+#ifndef MWR_BUILD_SANITIZE
+#define MWR_BUILD_SANITIZE ""
+#endif
+#ifndef MWR_BUILD_THREAD_SAFETY
+#define MWR_BUILD_THREAD_SAFETY 0
+#endif
+#ifndef MWR_BUILD_TYPE
+#define MWR_BUILD_TYPE "unknown"
+#endif
+
+namespace mwr::util {
+
+const char* version() { return MWR_BUILD_VERSION; }
+
+const char* sanitizers() { return MWR_BUILD_SANITIZE; }
+
+bool thread_safety_analysis() { return MWR_BUILD_THREAD_SAFETY != 0; }
+
+std::string compiler() {
+  std::ostringstream out;
+#if defined(__clang__)
+  out << "clang " << __clang_major__ << "." << __clang_minor__ << "."
+      << __clang_patchlevel__;
+#elif defined(__GNUC__)
+  out << "gcc " << __GNUC__ << "." << __GNUC_MINOR__ << "."
+      << __GNUC_PATCHLEVEL__;
+#else
+  out << "unknown";
+#endif
+  return out.str();
+}
+
+const char* build_type() { return MWR_BUILD_TYPE; }
+
+std::string build_info_line(const std::string& tool_name) {
+  std::ostringstream out;
+  out << tool_name << " mwrepair/" << version() << " (" << compiler() << ", "
+      << build_type() << ", sanitize=";
+  const char* san = sanitizers();
+  out << (san[0] != '\0' ? san : "none");
+  out << ", thread-safety-analysis="
+      << (thread_safety_analysis() ? "on" : "off") << ")";
+  return out.str();
+}
+
+}  // namespace mwr::util

@@ -1,0 +1,37 @@
+// Build-configuration introspection for `--version` output.
+//
+// Sanitizer and static-analysis configuration changes what a binary's
+// numbers mean (TSan slows the parallel substrates ~10x; ASan shifts
+// allocation patterns), so every bench/example binary self-reports how
+// it was built.  Values are burned in at compile time from the CMake
+// configuration (MWR_BUILD_* definitions on mwr_util).
+#pragma once
+
+#include <string>
+
+namespace mwr::util {
+
+/// Project version string, e.g. "1.0.0".
+[[nodiscard]] const char* version();
+
+/// The MWR_SANITIZE cache value this binary was built with, e.g.
+/// "address,undefined" or "thread"; empty when unsanitized.
+[[nodiscard]] const char* sanitizers();
+
+/// True when Clang thread-safety analysis (-Werror=thread-safety) was
+/// active for this build (always false for GCC builds — the MWR_*
+/// annotations compile away).
+[[nodiscard]] bool thread_safety_analysis();
+
+/// Compiler id/version, e.g. "clang 17.0.6" or "gcc 12.2.0".
+[[nodiscard]] std::string compiler();
+
+/// CMake build type, e.g. "Release".
+[[nodiscard]] const char* build_type();
+
+/// One-line, machine-greppable summary:
+///   "<tool> mwrepair/<version> (<compiler>, <build_type>,
+///    sanitize=<list|none>, thread-safety-analysis=<on|off>)"
+[[nodiscard]] std::string build_info_line(const std::string& tool_name);
+
+}  // namespace mwr::util

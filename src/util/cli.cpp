@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "util/build_info.hpp"
 
 namespace mwr::util {
 
@@ -51,6 +52,12 @@ bool Cli::parse(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << usage();
+      return false;
+    }
+    if (arg == "--version") {
+      // Program name = first word of the description ("bench_regret — ...").
+      const auto cut = description_.find_first_of(" —");
+      std::cout << build_info_line(description_.substr(0, cut)) << "\n";
       return false;
     }
     if (arg.rfind("--", 0) != 0)
@@ -135,7 +142,8 @@ bool Cli::get_flag(const std::string& name) const {
 
 std::string Cli::usage() const {
   std::ostringstream out;
-  out << description_ << "\n\nFlags:\n";
+  out << description_ << "\n[" << build_info_line("built as") << "]"
+      << "\n\nFlags:\n";
   for (const auto& name : order_) {
     const Entry& e = entries_.at(name);
     out << "  --" << name;

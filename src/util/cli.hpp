@@ -35,8 +35,10 @@ class Cli {
   /// Registers a boolean switch (present => true).
   void add_flag(const std::string& name, const std::string& help);
 
-  /// Parses argv.  On "--help" prints usage and returns false (caller should
-  /// exit 0).  Throws std::invalid_argument on malformed input.
+  /// Parses argv.  On "--help" prints usage, on "--version" prints the
+  /// build-configuration line (compiler, sanitizers, thread-safety
+  /// analysis — see util/build_info.hpp); both return false (caller
+  /// should exit 0).  Throws std::invalid_argument on malformed input.
   [[nodiscard]] bool parse(int argc, char** argv);
 
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;

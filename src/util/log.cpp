@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace mwr::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,7 +37,7 @@ LogLevel log_level() noexcept {
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::scoped_lock lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << level_name(level) << " " << component << ": " << message << "\n";
 }
 

@@ -1,0 +1,111 @@
+// Annotated synchronization wrappers: the only lock primitives src/ may
+// use (tools/mwr_lint.py rejects naked std::mutex / std::lock_guard /
+// std::condition_variable elsewhere in the tree).
+//
+// Each wrapper is a thin, header-only veneer over the std primitive that
+// carries the Clang Thread Safety Analysis attributes from
+// util/thread_annotations.hpp, so a Clang build with -Werror=thread-safety
+// statically checks every guarded access in the process.  There is no
+// behavioural difference from the std types: same mutex, same condition
+// variable, same codegen once the attributes (no-ops at runtime) are
+// stripped.
+//
+// MutexLock is deliberately relockable (unlock()/lock() on the guard):
+// the barrier and the superstep worker loop drop the lock across a fiber
+// suspension or a fiber resume and re-take it afterwards, and the analyzer
+// tracks that release/acquire pair on the scoped capability instead of
+// needing an inline suppression.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mwr::util {
+
+class CondVar;
+
+/// Annotated std::mutex.  Prefer MutexLock over manual lock()/unlock().
+class MWR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MWR_ACQUIRE() { mutex_.lock(); }
+  void unlock() MWR_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() MWR_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII guard over a util::Mutex — the annotated equivalent of
+/// std::scoped_lock, plus explicit unlock()/lock() so waits and
+/// fiber-suspension seams can release and re-take the capability inside
+/// one scope under the analyzer's eye.
+class MWR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MWR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+    held_ = true;
+  }
+
+  ~MutexLock() MWR_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the capability before scope exit (suspension points).
+  void unlock() MWR_RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+
+  /// Re-takes the capability after an unlock() (resume points).
+  void lock() MWR_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = false;
+};
+
+/// Annotated std::condition_variable bound to util::Mutex.  wait() requires
+/// the capability: the analyzer treats the blocked region as held, which
+/// matches the invariant every caller relies on (the predicate re-check
+/// happens under the lock).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and re-acquires before return.
+  /// Spurious wakeups happen: call from a `while (!predicate())` loop.
+  /// There is deliberately no predicate overload — the analyzer treats a
+  /// lambda's operator() as a separate function with an empty lock set, so
+  /// a predicate reading guarded state would need its own annotations; an
+  /// explicit loop keeps the guarded reads in the annotated function.
+  void wait(Mutex& mutex) MWR_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mwr::util

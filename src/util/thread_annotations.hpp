@@ -1,0 +1,75 @@
+// Clang Thread Safety Analysis attribute macros (MWR_ prefix).
+//
+// The concurrent structures in this tree (parallel substrate, oracle cache,
+// metrics registry, logger) declare their lock discipline with these macros
+// so a Clang build with -Werror=thread-safety proves — at compile time —
+// that every access to guarded state happens under the right capability.
+// The runtime sanitizer jobs (TSan) only witness the interleavings a test
+// happens to execute; the analysis covers all of them, which is what the
+// paper's reproducibility claims (bit-identical trajectories at any worker
+// count) actually require.
+//
+// On non-Clang compilers every macro expands to nothing, so the annotations
+// are free documentation.  Use them through the wrappers in util/sync.hpp
+// (util::Mutex, util::CondVar, util::MutexLock); naked std::mutex use in
+// src/ is rejected by tools/mwr_lint.py.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define MWR_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MWR_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a capability (a lock).  The string names the capability
+/// kind in diagnostics ("mutex").
+#define MWR_CAPABILITY(x) MWR_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define MWR_SCOPED_CAPABILITY MWR_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define MWR_GUARDED_BY(x) MWR_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define MWR_PT_GUARDED_BY(x) MWR_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define MWR_ACQUIRE(...) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define MWR_RELEASE(...) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the success value.
+#define MWR_TRY_ACQUIRE(...) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define MWR_REQUIRES(...) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock-ordering declaration:
+/// the function acquires it itself, so entering with it held self-locks).
+#define MWR_EXCLUDES(...) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held, injected into the static
+/// analysis state (for control flow the analyzer cannot follow, e.g. a
+/// fiber resuming on the far side of a coop-scheduler suspension).
+#define MWR_ASSERT_CAPABILITY(x) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MWR_RETURN_CAPABILITY(x) \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function.  Not used in
+/// src/parallel/ (acceptance: wrapper-level annotations only); anywhere
+/// else a use must explain itself.
+#define MWR_NO_THREAD_SAFETY_ANALYSIS \
+  MWR_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

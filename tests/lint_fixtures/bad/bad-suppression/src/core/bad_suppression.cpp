@@ -1,0 +1,17 @@
+// Fixture: malformed suppressions are themselves findings.
+#include <random>
+
+namespace fixture {
+
+unsigned missing_reason() {
+  // mwr-lint: allow(nondeterministic-seed)
+  std::random_device device;  // the allow above has no reason= -> error
+  return device();
+}
+
+unsigned unknown_rule() {
+  std::random_device device;  // mwr-lint: allow(made-up-rule) reason=nope
+  return device();
+}
+
+}  // namespace fixture

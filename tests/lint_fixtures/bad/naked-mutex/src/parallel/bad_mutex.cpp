@@ -1,0 +1,24 @@
+// Fixture: raw std synchronization primitives.  Anywhere under src/
+// these must go through the annotated util::Mutex / util::MutexLock /
+// util::CondVar wrappers so thread-safety analysis sees the locks.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mutex;                // finding
+std::condition_variable g_cv;      // finding
+bool g_ready = false;
+
+void wait_ready() {
+  std::unique_lock<std::mutex> lock(g_mutex);  // finding (x2)
+  g_cv.wait(lock, [] { return g_ready; });
+}
+
+void set_ready() {
+  const std::lock_guard<std::mutex> lock(g_mutex);  // finding (x2)
+  g_ready = true;
+  g_cv.notify_all();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: ambient entropy in a bit-identity domain.  Each banned form
+// must be reported by the nondeterministic-seed rule.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned ambient_seed() {
+  std::random_device device;  // finding: hardware entropy
+  return device();
+}
+
+void reseed_libc() {
+  srand(42);                       // finding: libc generator seeding
+  const int draw = rand() % 100;   // finding: libc generator draw
+  (void)draw;
+}
+
+}  // namespace fixture

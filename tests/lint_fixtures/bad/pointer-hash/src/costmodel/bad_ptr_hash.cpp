@@ -1,0 +1,19 @@
+// Fixture: address values flowing into hashes in a bit-identity domain.
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+struct Node {
+  int value;
+};
+
+std::size_t hash_by_address(const Node* node) {
+  return std::hash<const Node*>{}(node);  // finding: pointer hash
+}
+
+std::uint64_t address_as_key(const Node* node) {
+  return reinterpret_cast<std::uintptr_t>(node);  // finding: ASLR leak
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: thread identity leaking into a bit-identity domain.
+#include <functional>
+#include <thread>
+
+namespace fixture {
+
+std::size_t shard_by_thread() {
+  // finding: get_id() differs run to run; pass an explicit rank instead.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace fixture

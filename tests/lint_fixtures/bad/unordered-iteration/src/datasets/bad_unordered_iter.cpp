@@ -1,0 +1,22 @@
+// Fixture: iterating an unordered container in a bit-identity domain.
+// Iteration order depends on hasher, load factor, and libstdc++ version,
+// so anything accumulated in that order breaks bit-identity.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double sum_weights(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {  // finding: range-for
+    total += entry.second;
+  }
+  return total;
+}
+
+std::string first_key(
+    const std::unordered_map<std::string, double>& weights) {
+  return weights.begin()->first;  // finding: iterator access
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: clock reads in a bit-identity domain.  The wall-clock rule
+// must flag every clock source, not just system_clock.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long clock_seed() {
+  const auto now = std::chrono::system_clock::now();  // finding
+  return now.time_since_epoch().count();
+}
+
+long steady_seed() {
+  return std::chrono::steady_clock::now()  // finding
+      .time_since_epoch()
+      .count();
+}
+
+long hires_seed() {
+  return std::chrono::high_resolution_clock::now()  // finding
+      .time_since_epoch()
+      .count();
+}
+
+long libc_seed() {
+  return static_cast<long>(time(nullptr));  // finding
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: unordered containers used keyed-only (lookup/insert/count)
+// are fine in bit-identity domains — only *iteration* is order-sensitive.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class Cache {
+ public:
+  bool seen(std::uint64_t key) const { return members_.count(key) != 0; }
+
+  void remember(std::uint64_t key, double value) { map_[key] = value; }
+
+  double lookup(std::uint64_t key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> members_;
+  std::unordered_map<std::uint64_t, double> map_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: banned identifiers in comments and string literals must NOT
+// be reported — e.g. std::random_device, rand(), std::mutex, or
+// std::chrono::system_clock mentioned right here in prose.
+#include <string>
+
+namespace fixture {
+
+/* Block comments too: std::this_thread::get_id() and
+   reinterpret_cast<std::uintptr_t>(p) are fine inside comments. */
+std::string diagnostics_help() {
+  return "never seed from std::random_device or time(nullptr); "
+         "see std::chrono::steady_clock docs";
+}
+
+std::string raw_literal_help() {
+  return R"(naked std::mutex and std::lock_guard<std::mutex> in a raw
+            string literal are prose, not code)";
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: correctly justified suppressions are honored (and counted).
+#include <random>
+
+namespace fixture {
+
+unsigned entropy_for_bench_warmup() {
+  // mwr-lint: allow(nondeterministic-seed) reason=fixture demonstrating a justified trailing suppression
+  std::random_device device;
+  return device();
+}
+
+unsigned entropy_inline() {
+  std::random_device device;  // mwr-lint: allow(nondeterministic-seed) reason=fixture demonstrating same-line form
+  return device();
+}
+
+}  // namespace fixture

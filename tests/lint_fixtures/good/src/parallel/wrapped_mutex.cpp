@@ -1,0 +1,27 @@
+// Fixture: the annotated wrappers are the approved spelling — no
+// findings even though this is real locking code.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Gate {
+ public:
+  void open() {
+    const mwr::util::MutexLock lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  void wait_open() {
+    mwr::util::MutexLock lock(mutex_);
+    while (!open_) cv_.wait(mutex_);
+  }
+
+ private:
+  mwr::util::Mutex mutex_;
+  mwr::util::CondVar cv_;
+  bool open_ MWR_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Negative-compile check for the thread-safety annotation layer.
+//
+// This TU deliberately races a MWR_GUARDED_BY field: `hits_` is guarded
+// by `mutex_` but record() touches it with no lock held.  Under Clang
+// with -Werror=thread-safety the compile MUST fail — ctest runs this
+// through `$CXX -fsyntax-only` with WILL_FAIL, so the test goes red
+// exactly when the analysis stops catching the race (e.g. someone
+// neuters the macros or drops the warning flags).  It is never linked
+// into any binary.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mwr::static_analysis_check {
+
+class RacyCounter {
+ public:
+  void record() {
+    ++hits_;  // BUG (on purpose): guarded write without mutex_ held.
+  }
+
+  [[nodiscard]] long hits() const {
+    const util::MutexLock lock(mutex_);
+    return hits_;
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  long hits_ MWR_GUARDED_BY(mutex_) = 0;
+};
+
+inline long poke() {
+  RacyCounter counter;
+  counter.record();
+  return counter.hits();
+}
+
+}  // namespace mwr::static_analysis_check

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 
+#include "util/build_info.hpp"
 #include "util/cli.hpp"
 
 namespace mwr::util {
@@ -98,6 +100,30 @@ TEST(Cli, HelpReturnsFalse) {
   EXPECT_FALSE(parse(cli, std::array{"prog", "--help"}));
   const std::string out = ::testing::internal::GetCapturedStdout();
   EXPECT_NE(out.find("--n"), std::string::npos);
+}
+
+TEST(Cli, VersionReturnsFalseAndReportsBuildConfig) {
+  Cli cli("mytool — does things");
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(parse(cli, std::array{"prog", "--version"}));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("mytool mwrepair/"), std::string::npos);
+  EXPECT_NE(out.find("sanitize="), std::string::npos);
+  EXPECT_NE(out.find("thread-safety-analysis="), std::string::npos);
+  EXPECT_EQ(out.find("—"), std::string::npos);  // description tail dropped
+}
+
+TEST(BuildInfo, LineIsSelfConsistent) {
+  const std::string line = build_info_line("x");
+  if (thread_safety_analysis()) {
+    EXPECT_NE(line.find("thread-safety-analysis=on"), std::string::npos);
+  } else {
+    EXPECT_NE(line.find("thread-safety-analysis=off"), std::string::npos);
+  }
+  const std::string san = sanitizers();
+  EXPECT_NE(line.find(san.empty() ? "sanitize=none" : "sanitize=" + san),
+            std::string::npos);
+  EXPECT_NE(line.find(compiler()), std::string::npos);
 }
 
 TEST(Cli, TypedAccessorsEnforceKinds) {

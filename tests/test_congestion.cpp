@@ -3,8 +3,10 @@
 // paper's Distributed communication claim.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include "parallel/congestion.hpp"
 #include "util/rng.hpp"
@@ -66,6 +68,47 @@ TEST(CongestionTracker, ConcurrentRecordsAreAllCounted) {
   std::uint64_t sum = 0;
   for (std::size_t n = 0; n < 8; ++n) sum += tracker.current_count(n);
   EXPECT_EQ(sum, 4000u);
+}
+
+// Regression (static-analysis bring-up): max_per_cycle_ used to be handed
+// out as a const reference while end_cycle() mutated it, so a monitoring
+// thread could observe a torn Welford accumulator (count advanced, mean
+// not, or vice versa).  The getter now snapshots under the stats mutex;
+// every snapshot must be internally consistent — after c closed cycles of
+// constant per-cycle maximum m, any observed state has count <= c and
+// mean/min/max exactly m (or an empty 0-state), never a mix.
+TEST(CongestionTracker, SnapshotStatsAreConsistentUnderConcurrentReads) {
+  CongestionTracker tracker(4);
+  constexpr int kCycles = 5000;
+  constexpr double kMax = 3.0;  // every cycle: one node absorbs 3 messages
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const util::RunningStats snapshot = tracker.max_per_cycle();
+        if (snapshot.count() == 0) continue;
+        const bool consistent = snapshot.mean() == kMax &&
+                                snapshot.min() == kMax &&
+                                snapshot.max() == kMax &&
+                                snapshot.count() <= kCycles;
+        if (!consistent) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < kCycles; ++c) {
+    tracker.record(1);
+    tracker.record(1);
+    tracker.record(1);
+    tracker.end_cycle();
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(tracker.max_per_cycle().count(),
+            static_cast<std::size_t>(kCycles));
+  EXPECT_DOUBLE_EQ(tracker.max_per_cycle().mean(), kMax);
 }
 
 TEST(BallsIntoBins, BoundGrowsSlowly) {

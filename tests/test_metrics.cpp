@@ -3,6 +3,7 @@
 // registry snapshots round-tripping through the serialization helpers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -285,6 +286,56 @@ TEST(Registry, ConcurrentLookupsAndMutationsAreSafe) {
             kThreads * kPerThread);
   EXPECT_EQ(registry.histogram("shared.seconds").count(),
             kThreads * kPerThread);
+}
+
+// Regression (static-analysis bring-up audit): registration, reset() and
+// to_json() all walk the registry's guarded maps, so snapshotting while
+// other threads register fresh metrics must never crash or emit an
+// inconsistent document.  Each snapshot must parse and every counter it
+// reports must hold a value that was legal at some instant (here: the
+// shared counter only ever grows, and per-name counters are 0 or 1).
+TEST(Registry, SnapshotWhileRegisteringStaysConsistent) {
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kPerThread = 300;
+  std::atomic<bool> done{false};
+  std::atomic<int> bad_snapshots{0};
+  std::thread snapshotter([&] {
+    double last_shared = 0.0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const JsonValue parsed = JsonValue::parse(registry.to_json_string());
+      if (parsed.at("schema").as_string() != "mwr-metrics-v1") {
+        bad_snapshots.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const JsonValue& counters = parsed.at("counters");
+      if (counters.contains("shared.count")) {
+        const double shared = counters.at("shared.count").as_double();
+        if (shared < last_shared) {
+          bad_snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_shared = shared;
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("shared.count").add(1);
+        registry
+            .counter("writer." + std::to_string(t) + ".item." +
+                     std::to_string(i))
+            .add(1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  EXPECT_EQ(bad_snapshots.load(), 0);
+  EXPECT_EQ(registry.counter("shared.count").value(),
+            static_cast<std::uint64_t>(kWriters * kPerThread));
 }
 
 TEST(Registry, GlobalIsASingleton) {

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Ratcheted clang-tidy runner.
+
+Runs clang-tidy (check set: .clang-tidy at the repo root) over every
+translation unit in compile_commands.json that lives under src/, bench/,
+examples/, or tests/, aggregates findings per check, and compares the
+counts against tools/tidy_baseline.json:
+
+  * a check whose count EXCEEDS its baseline entry fails the run — new
+    findings are never allowed in;
+  * a check whose count DROPPED is reported so the baseline can be
+    ratcheted down (--update-baseline rewrites it);
+  * --update-baseline refuses to *raise* any count unless
+    --allow-increase is also given (which should only survive review
+    with a written justification).
+
+The per-check (rather than per-file) granularity means moving code
+between files never trips the gate; only genuinely new findings do.
+
+Requires clang-tidy >= 14 on PATH (or --clang-tidy) and a build tree
+configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON.
+
+Exit status: 0 clean/ratchet-held, 1 new findings, 2 environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "tools" / "tidy_baseline.json"
+SCAN_PREFIXES = ("src/", "bench/", "examples/", "tests/")
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<checks>[^\]]+)\]$"
+)
+
+
+def load_baseline(path):
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != "mwr-tidy-baseline-v1":
+        raise ValueError(f"unrecognized baseline schema in {path}")
+    return data
+
+
+def translation_units(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        raise FileNotFoundError(
+            f"{db_path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    files = []
+    for entry in db:
+        path = Path(entry["file"])
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            continue
+        if rel.startswith(SCAN_PREFIXES):
+            files.append(path.resolve())
+    return sorted(set(files))
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        try:
+            rel = Path(m.group("path")).resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # finding in a system/third-party header
+        for check in m.group("checks").split(","):
+            findings.append((rel.as_posix(), int(m.group("line")), check))
+    # clang-tidy exits non-zero on hard errors (missing headers etc.) even
+    # with zero findings; surface those instead of silently passing.
+    hard_error = proc.returncode != 0 and not findings
+    return findings, proc.stderr if hard_error else ""
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="run_clang_tidy")
+    parser.add_argument(
+        "--build-dir", type=Path, default=REPO_ROOT / "build",
+        help="build tree with compile_commands.json (default: build/)",
+    )
+    parser.add_argument(
+        "--clang-tidy", default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+        help="clang-tidy binary (default: $CLANG_TIDY or PATH lookup)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 4,
+        help="parallel clang-tidy processes",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite tools/tidy_baseline.json with the observed counts "
+        "(only decreases unless --allow-increase)",
+    )
+    parser.add_argument(
+        "--allow-increase", action="store_true",
+        help="permit --update-baseline to raise counts (needs review "
+        "justification)",
+    )
+    args = parser.parse_args(argv)
+
+    if shutil.which(args.clang_tidy) is None:
+        print(
+            f"run_clang_tidy: error: '{args.clang_tidy}' not on PATH",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_baseline(BASELINE_PATH)
+        files = translation_units(args.build_dir)
+    except (FileNotFoundError, ValueError) as err:
+        print(f"run_clang_tidy: error: {err}", file=sys.stderr)
+        return 2
+    if not files:
+        print("run_clang_tidy: error: no project TUs in the compilation "
+              "database", file=sys.stderr)
+        return 2
+
+    all_findings = []
+    hard_errors = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {
+            pool.submit(run_one, args.clang_tidy, args.build_dir, f): f
+            for f in files
+        }
+        for future in concurrent.futures.as_completed(futures):
+            findings, err = future.result()
+            all_findings.extend(findings)
+            if err:
+                hard_errors.append((futures[future], err))
+
+    if hard_errors:
+        for path, err in hard_errors:
+            print(f"run_clang_tidy: hard error on {path}:\n{err}",
+                  file=sys.stderr)
+        return 2
+
+    # Deduplicate: the same header finding surfaces once per includer.
+    unique = sorted(set(all_findings))
+    counts = Counter(check for _, _, check in unique)
+    base_counts = baseline["counts"]
+
+    regressions = {}
+    improvements = {}
+    for check, count in sorted(counts.items()):
+        allowed = base_counts.get(check, 0)
+        if count > allowed:
+            regressions[check] = (allowed, count)
+    for check, allowed in sorted(base_counts.items()):
+        count = counts.get(check, 0)
+        if count < allowed:
+            improvements[check] = (allowed, count)
+
+    for rel, line, check in unique:
+        print(f"{rel}:{line}: [{check}]")
+    print(
+        f"run_clang_tidy: {len(unique)} finding(s) across "
+        f"{len(files)} TU(s); baseline allows "
+        f"{sum(base_counts.values())}"
+    )
+
+    if improvements and not args.update_baseline:
+        print("run_clang_tidy: baseline is stale (counts dropped) — "
+              "ratchet it down with --update-baseline:")
+        for check, (allowed, count) in improvements.items():
+            print(f"  {check}: {allowed} -> {count}")
+
+    if args.update_baseline:
+        increases = {
+            c: (base_counts.get(c, 0), n)
+            for c, n in counts.items()
+            if n > base_counts.get(c, 0)
+        }
+        if increases and not args.allow_increase:
+            print("run_clang_tidy: refusing to raise the baseline "
+                  "(--allow-increase to override):", file=sys.stderr)
+            for check, (allowed, count) in sorted(increases.items()):
+                print(f"  {check}: {allowed} -> {count}", file=sys.stderr)
+            return 1
+        baseline["counts"] = {c: n for c, n in sorted(counts.items()) if n}
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"run_clang_tidy: baseline rewritten -> {BASELINE_PATH}")
+        return 0
+
+    if regressions:
+        print("run_clang_tidy: NEW findings over baseline:", file=sys.stderr)
+        for check, (allowed, count) in sorted(regressions.items()):
+            print(f"  {check}: baseline {allowed}, now {count}",
+                  file=sys.stderr)
+        return 1
+    print("run_clang_tidy: ratchet held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
