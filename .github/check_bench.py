@@ -16,6 +16,12 @@ mwr-bench-spmd-scale-v1 (bench_spmd_scale --json):
   cannot reach — and (d) not regress engine throughput at the crossover
   more than 3x against the committed baseline.
 
+mwr-bench-transport-v1 (bench_transport --json):
+  every Comm backend (in-process mailbox, shm ring, UDS) must clear an
+  absolute throughput floor and a p99 round-trip-latency ceiling, and must
+  not regress more than 5x in either metric against the committed baseline
+  (process forking on shared CI runners is noisy, hence the allowance).
+
 Speedup floors and the bit-identity bit are measured within one run, so
 they are immune to runner-speed variance; only the absolute-regression
 checks compare across machines, hence their generous allowances.
@@ -42,6 +48,16 @@ HOT_PATHS_REGRESSION_CHECKED = ["sampler"]
 SPMD_SPEEDUP_FLOOR = 5.0        # engine vs thread-per-rank at 2^10
 SPMD_MIN_LARGE_POPULATION = 4096  # engine must complete at least this
 SPMD_MAX_ABS_REGRESSION = 3.0   # throughput, cross-machine, loose
+
+TRANSPORT_SCHEMA = "mwr-bench-transport-v1"
+TRANSPORT_SECTIONS = ["in_process", "shm", "uds"]
+# Absolute floors/ceilings: an order of magnitude under the measured
+# numbers on the slowest CI runner, so they catch pathological regressions
+# (a backend falling back to sleeps, a per-message allocation storm)
+# without flaking on machine variance.
+TRANSPORT_MIN_MSGS_PER_SEC = 50_000.0
+TRANSPORT_MAX_P99_LATENCY_US = 20_000.0
+TRANSPORT_MAX_ABS_REGRESSION = 5.0  # vs baseline, either metric
 
 
 def fail(message):
@@ -154,9 +170,61 @@ def check_spmd_scale(current, baseline):
     )
 
 
+def validate_transport(path, doc):
+    for name in TRANSPORT_SECTIONS:
+        section = doc.get(name)
+        if not isinstance(section, dict):
+            fail(f"{path}: missing section {name}")
+        for field in ("msgs_per_sec", "p99_latency_us"):
+            value = section.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{path}: {name}.{field} is {value!r}, expected > 0")
+
+
+def check_transport(current, baseline):
+    for name in TRANSPORT_SECTIONS:
+        throughput = current[name]["msgs_per_sec"]
+        latency = current[name]["p99_latency_us"]
+        if throughput < TRANSPORT_MIN_MSGS_PER_SEC:
+            fail(
+                f"{name} throughput {throughput:.0f} msgs/s is below the "
+                f"{TRANSPORT_MIN_MSGS_PER_SEC:.0f} floor"
+            )
+        if latency > TRANSPORT_MAX_P99_LATENCY_US:
+            fail(
+                f"{name} p99 latency {latency:.1f} us exceeds the "
+                f"{TRANSPORT_MAX_P99_LATENCY_US:.0f} us ceiling"
+            )
+        base_throughput = baseline[name]["msgs_per_sec"]
+        base_latency = baseline[name]["p99_latency_us"]
+        if throughput * TRANSPORT_MAX_ABS_REGRESSION < base_throughput:
+            fail(
+                f"{name} throughput regressed: {throughput:.0f} msgs/s vs "
+                f"baseline {base_throughput:.0f} "
+                f"(allowed {TRANSPORT_MAX_ABS_REGRESSION}x)"
+            )
+        if latency > base_latency * TRANSPORT_MAX_ABS_REGRESSION:
+            fail(
+                f"{name} p99 latency regressed: {latency:.1f} us vs "
+                f"baseline {base_latency:.1f} "
+                f"(allowed {TRANSPORT_MAX_ABS_REGRESSION}x)"
+            )
+
+    print(
+        "bench gate: OK ("
+        + ", ".join(
+            f"{name} {current[name]['msgs_per_sec'] / 1e6:.2f}M msgs/s "
+            f"p99 {current[name]['p99_latency_us']:.1f}us"
+            for name in TRANSPORT_SECTIONS
+        )
+        + ")"
+    )
+
+
 CHECKERS = {
     HOT_PATHS_SCHEMA: (validate_hot_paths, check_hot_paths),
     SPMD_SCALE_SCHEMA: (validate_spmd_scale, check_spmd_scale),
+    TRANSPORT_SCHEMA: (validate_transport, check_transport),
 }
 
 

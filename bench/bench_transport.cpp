@@ -1,0 +1,177 @@
+// Transport microbench — message throughput and round-trip latency for the
+// three Comm substrates: the in-process mailbox path, the shared-memory
+// ring, and the Unix-domain-socket fabric.
+//
+// Two ranks, two measurements per backend:
+//   burst      — rank 0 streams `burst` one-double messages to rank 1 and
+//                waits for a single ack; msgs/sec over the whole exchange.
+//   ping-pong  — `pingpong` request/reply round trips; per-trip wall
+//                latencies, reported at p99.
+// The multi-process backends place one rank per process, so every message
+// actually crosses the fabric (encode → ring/socket → drain thread →
+// mailbox); the in-process numbers are the mailbox-only reference the
+// transports are compared against.
+//
+// Emits a table and JSON (--json, default BENCH_transport.json) with
+// schema "mwr-bench-transport-v1"; CI's bench-smoke job gates the file
+// against bench/BENCH_transport.baseline.json via .github/check_bench.py.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "parallel/comm.hpp"
+#include "parallel/transport/process_world.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mwr;
+
+constexpr int kTagBurst = 1;
+constexpr int kTagAck = 2;
+constexpr int kTagPing = 3;
+constexpr int kTagPong = 4;
+
+struct BackendResult {
+  std::string name;
+  double msgs_per_sec = 0.0;
+  double p99_latency_us = 0.0;
+};
+
+// The two-rank benchmark body; identical for every backend.  Returns
+// {msgs_per_sec, p99_latency_us} from rank 0, zeros from rank 1.
+std::vector<double> bench_body(parallel::Comm& comm, std::size_t burst,
+                               std::size_t pingpong) {
+  if (comm.rank() == 0) {
+    // --- burst throughput ---
+    const util::WallTimer burst_timer;
+    for (std::size_t i = 0; i < burst; ++i) {
+      comm.send_untracked(1, kTagBurst, {static_cast<double>(i)});
+    }
+    (void)comm.recv(1, kTagAck);  // recv flushes, then blocks for the ack
+    const double burst_seconds = burst_timer.elapsed_seconds();
+
+    // --- ping-pong latency ---
+    std::vector<double> latencies_us;
+    latencies_us.reserve(pingpong);
+    for (std::size_t i = 0; i < pingpong; ++i) {
+      const util::WallTimer trip;
+      comm.send_untracked(1, kTagPing, {});
+      (void)comm.recv(1, kTagPong);
+      latencies_us.push_back(trip.elapsed_seconds() * 1e6);
+    }
+    return {static_cast<double>(burst) / burst_seconds,
+            util::percentile(latencies_us, 0.99)};
+  }
+  for (std::size_t i = 0; i < burst; ++i) (void)comm.recv(0, kTagBurst);
+  comm.send_untracked(0, kTagAck, {});
+  for (std::size_t i = 0; i < pingpong; ++i) {
+    (void)comm.recv(0, kTagPing);
+    comm.send_untracked(0, kTagPong, {});
+  }
+  return {0.0, 0.0};
+}
+
+BackendResult bench_in_process(std::size_t burst, std::size_t pingpong) {
+  BackendResult result;
+  result.name = "in_process";
+  parallel::CommWorld world(2, parallel::RunPolicy::thread_per_rank());
+  std::vector<double> rank0;
+  world.run([&](parallel::Comm& comm) {
+    auto r = bench_body(comm, burst, pingpong);
+    if (comm.rank() == 0) rank0 = std::move(r);
+  });
+  result.msgs_per_sec = rank0.at(0);
+  result.p99_latency_us = rank0.at(1);
+  return result;
+}
+
+BackendResult bench_transport(parallel::transport::TransportKind kind,
+                              std::size_t burst, std::size_t pingpong) {
+  BackendResult result;
+  result.name = to_string(kind);
+  parallel::transport::ProcessWorldConfig config;
+  config.global_ranks = 2;
+  config.processes = 2;
+  config.kind = kind;
+  const auto outcome = parallel::transport::run_process_world(
+      config, [burst, pingpong](parallel::CommWorld& world,
+                                const parallel::WorldLayout& /*layout*/,
+                                std::uint32_t* /*rank_state*/) {
+        std::vector<double> rank0{0.0, 0.0};
+        world.run([&](parallel::Comm& comm) {
+          auto r = bench_body(comm, burst, pingpong);
+          if (comm.rank() == 0) rank0 = std::move(r);
+        });
+        return rank0;
+      });
+  if (!outcome.ok) {
+    std::cerr << "FATAL: " << result.name << " world failed: " << outcome.error
+              << "\n";
+    std::exit(1);
+  }
+  result.msgs_per_sec = outcome.values.at(0).at(0);
+  result.p99_latency_us = outcome.values.at(0).at(1);
+  return result;
+}
+
+void emit_json_section(std::ofstream& os, const BackendResult& result,
+                       bool last) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f", result.msgs_per_sec);
+  os << "  \"" << result.name << "\": {\"msgs_per_sec\": " << buf;
+  std::snprintf(buf, sizeof buf, "%.2f", result.p99_latency_us);
+  os << ", \"p99_latency_us\": " << buf << "}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(
+      "bench_transport — message throughput and round-trip latency across "
+      "the in-process, shm-ring, and UDS Comm backends");
+  cli.add_int("burst", 20000, "messages in the one-way throughput burst");
+  cli.add_int("pingpong", 2000, "request/reply round trips for latency");
+  cli.add_string("json", "BENCH_transport.json",
+                 "machine-readable output path (gated by check_bench.py)");
+  cli.add_string("csv", "", "also write the table as CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto burst = static_cast<std::size_t>(cli.get_int("burst"));
+  const auto pingpong = static_cast<std::size_t>(cli.get_int("pingpong"));
+
+  const std::vector<BackendResult> results = {
+      bench_in_process(burst, pingpong),
+      bench_transport(parallel::transport::TransportKind::kShmRing, burst,
+                      pingpong),
+      bench_transport(parallel::transport::TransportKind::kUds, burst,
+                      pingpong),
+  };
+
+  util::Table table("Transport backends (" + std::to_string(burst) +
+                    "-msg burst, " + std::to_string(pingpong) +
+                    " round trips)");
+  table.set_header({"backend", "msgs/s", "p99 RTT us"});
+  for (const auto& result : results) {
+    table.add_row({result.name, util::fmt_fixed(result.msgs_per_sec, 0),
+                   util::fmt_fixed(result.p99_latency_us, 1)});
+  }
+  table.emit(std::cout, cli.get_string("csv"));
+
+  std::ofstream os(cli.get_string("json"));
+  os << "{\n  \"schema\": \"mwr-bench-transport-v1\",\n"
+     << "  \"params\": {\"burst\": " << burst << ", \"pingpong\": " << pingpong
+     << "},\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    emit_json_section(os, results[i], i + 1 == results.size());
+  }
+  os << "}\n";
+  std::cout << "wrote " << cli.get_string("json") << "\n";
+  return 0;
+}

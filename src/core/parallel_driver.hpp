@@ -22,6 +22,7 @@
 
 #include "core/mwu.hpp"
 #include "parallel/comm.hpp"
+#include "parallel/transport/process_world.hpp"
 #include "util/stats.hpp"
 
 namespace mwr::core {
@@ -32,6 +33,11 @@ struct ParallelMwuResult {
   MwuResult result;
   util::RunningStats max_congestion_per_cycle;
   std::uint64_t total_messages = 0;
+  /// Order-independent fingerprint of the final per-rank choices: the sum
+  /// over ranks of a 32-bit hash of (rank, final choice).  Exact in a
+  /// double up to ~2^20 ranks; equal across transports iff every rank
+  /// ended on the same choice — the cross-backend bit-identity pin.
+  double trajectory_hash = 0.0;
 };
 
 /// Runs Standard MWU with `num_agents` ranks, each evaluating one probe per
@@ -59,5 +65,29 @@ struct ParallelMwuResult {
 [[nodiscard]] ParallelMwuResult run_distributed_spmd(
     const CostOracle& oracle, const MwuConfig& config, std::uint64_t seed,
     std::size_t population_override = 0, parallel::RunPolicy policy = {});
+
+/// How run_distributed_spmd_multiprocess splits the population across
+/// worker processes and which fabric carries the cross-process traffic.
+struct MultiprocessOptions {
+  std::size_t processes = 2;
+  parallel::transport::TransportKind kind =
+      parallel::transport::TransportKind::kShmRing;
+  parallel::RunPolicy policy{};
+  std::size_t ring_bytes = parallel::transport::ShmFabric::kDefaultRingBytes;
+  double timeout_seconds = 120.0;
+};
+
+/// Distributed MWU across forked worker processes: the identical per-rank
+/// program as run_distributed_spmd — same per-rank RngStreams, same
+/// message pattern — executed over the shm-ring or UDS transport, one
+/// contiguous rank block per process.  Congestion statistics are the
+/// world-wide per-cycle maxima (every process records the same reduction),
+/// evaluations and total_messages are summed across processes, and the
+/// trajectory_hash is pinned equal to the in-process run by test.  The
+/// oracle must be process-independent (pure function of (option, rng)) —
+/// each worker holds its own copy-on-write instance.
+[[nodiscard]] ParallelMwuResult run_distributed_spmd_multiprocess(
+    const CostOracle& oracle, const MwuConfig& config, std::uint64_t seed,
+    std::size_t population_override, const MultiprocessOptions& options);
 
 }  // namespace mwr::core

@@ -11,6 +11,7 @@
 #include "core/exp3_mwu.hpp"
 #include "core/slate_mwu.hpp"
 #include "core/standard_mwu.hpp"
+#include "parallel/transport/wire.hpp"
 
 namespace mwr::core {
 
@@ -107,6 +108,32 @@ void load_state_file(MwuStrategy& strategy, const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("load_state_file: cannot open " + path);
   load_state(strategy, f);
+}
+
+std::vector<std::uint8_t> serialize_message(const parallel::Message& message,
+                                            int dest_rank, bool tracked) {
+  std::vector<std::uint8_t> out;
+  parallel::transport::encode_frame(
+      parallel::transport::WireFrame::message(message.source, dest_rank,
+                                              message.tag,
+                                              message.payload.to_vector(),
+                                              tracked),
+      out);
+  return out;
+}
+
+parallel::Message deserialize_message(const std::uint8_t* data,
+                                      std::size_t size, int* dest_rank,
+                                      bool* tracked) {
+  parallel::transport::WireFrame frame;
+  const std::size_t used = parallel::transport::decode_frame(data, size, frame);
+  if (used == 0)
+    throw std::runtime_error("deserialize_message: incomplete frame");
+  if (frame.kind != parallel::transport::FrameKind::kMessage)
+    throw std::runtime_error("deserialize_message: not a message frame");
+  if (dest_rank != nullptr) *dest_rank = frame.dest;
+  if (tracked != nullptr) *tracked = frame.tracked;
+  return parallel::Message{frame.source, frame.tag, std::move(frame.payload)};
 }
 
 }  // namespace mwr::core

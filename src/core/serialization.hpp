@@ -11,12 +11,19 @@
 //   mwr-mwu-state v1
 //   <kind> <num_options> <state_size>
 //   <state values, one per line, full double precision>
+// Message payloads crossing a process boundary go through the same seam:
+// serialize_message / deserialize_message wrap the transport wire codec
+// (parallel/transport/wire.hpp) so the versioned on-the-wire frame format
+// is the single encoding for both live traffic and captured traces.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/mwu.hpp"
+#include "parallel/mailbox.hpp"
 
 namespace mwr::core {
 
@@ -33,5 +40,20 @@ void load_state(MwuStrategy& strategy, std::istream& is);
 /// Convenience file-path wrappers.
 void save_state_file(const MwuStrategy& strategy, const std::string& path);
 void load_state_file(MwuStrategy& strategy, const std::string& path);
+
+/// Encodes one Message as a self-delimiting versioned wire frame — byte-for
+/// byte what the shm-ring and UDS transports put on the wire for the same
+/// (message, dest, tracked) triple.  Deterministic: equal inputs produce
+/// equal byte streams on every backend and platform (fixed-width
+/// little-endian fields, IEEE-754 payload bits).
+[[nodiscard]] std::vector<std::uint8_t> serialize_message(
+    const parallel::Message& message, int dest_rank, bool tracked);
+
+/// Decodes a frame produced by serialize_message.  Throws
+/// std::runtime_error on a short/corrupt buffer or a non-message frame.
+/// `dest_rank` / `tracked` receive the envelope fields when non-null.
+[[nodiscard]] parallel::Message deserialize_message(
+    const std::uint8_t* data, std::size_t size, int* dest_rank = nullptr,
+    bool* tracked = nullptr);
 
 }  // namespace mwr::core

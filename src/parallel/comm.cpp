@@ -7,6 +7,7 @@
 
 #include "obs/registry.hpp"
 #include "parallel/superstep.hpp"
+#include "parallel/transport/transport.hpp"
 #include "util/sync.hpp"
 
 namespace mwr::parallel {
@@ -45,35 +46,117 @@ std::size_t resolved_worker_count(const RunPolicy& policy) {
 }
 }  // namespace
 
+std::size_t WorldLayout::block_begin(std::size_t global_size,
+                                     std::size_t processes,
+                                     std::size_t process) noexcept {
+  const std::size_t base = global_size / processes;
+  const std::size_t rem = global_size % processes;
+  return process * base + std::min(process, rem);
+}
+
+std::size_t WorldLayout::block_count(std::size_t global_size,
+                                     std::size_t processes,
+                                     std::size_t process) noexcept {
+  const std::size_t base = global_size / processes;
+  const std::size_t rem = global_size % processes;
+  return base + (process < rem ? 1 : 0);
+}
+
+std::size_t WorldLayout::owner_of(std::size_t global_size,
+                                  std::size_t processes,
+                                  std::size_t rank) noexcept {
+  const std::size_t base = global_size / processes;
+  const std::size_t rem = global_size % processes;
+  const std::size_t in_big_blocks = rem * (base + 1);
+  if (rank < in_big_blocks) return rank / (base + 1);
+  if (base == 0) return processes - 1;  // only reachable for out-of-range rank
+  return rem + (rank - in_big_blocks) / base;
+}
+
 int Comm::size() const noexcept { return static_cast<int>(world_->size()); }
 
 void Comm::send(int destination, int tag, PayloadVec payload) {
   auto dst = static_cast<std::size_t>(destination);
   if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
-  world_->tracker_.record(dst);
   comm_metrics().messages_sent.add(1);
-  world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
+  if (!world_->multiprocess()) {
+    // Historical in-process path, bit-for-bit untouched.
+    world_->tracker_.record(dst);
+    world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
+    return;
+  }
+  const WorldLayout& layout = world_->layout_;
+  const std::size_t owner =
+      WorldLayout::owner_of(layout.global_size, layout.processes, dst);
+  if (owner == layout.process_index) {
+    const std::size_t local = world_->local_index(destination);
+    world_->tracker_.record(local);
+    world_->mailboxes_[local].push(Message{rank_, tag, std::move(payload)});
+    return;
+  }
+  // Remote rank: congestion is recorded by the destination process's drain
+  // thread when the tracked frame is delivered — same count, same cycle
+  // (the barrier-close marker round fences delivery).
+  world_->endpoint_->send(
+      owner, transport::WireFrame::message(rank_, destination, tag,
+                                           std::move(payload).to_vector(),
+                                           /*tracked=*/true));
 }
 
 void Comm::send_untracked(int destination, int tag, PayloadVec payload) {
   auto dst = static_cast<std::size_t>(destination);
   if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
   comm_metrics().messages_sent_untracked.add(1);
-  world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
+  if (!world_->multiprocess()) {
+    world_->mailboxes_[dst].push(Message{rank_, tag, std::move(payload)});
+    return;
+  }
+  const WorldLayout& layout = world_->layout_;
+  const std::size_t owner =
+      WorldLayout::owner_of(layout.global_size, layout.processes, dst);
+  if (owner == layout.process_index) {
+    world_->mailboxes_[world_->local_index(destination)].push(
+        Message{rank_, tag, std::move(payload)});
+    return;
+  }
+  world_->endpoint_->send(
+      owner, transport::WireFrame::message(rank_, destination, tag,
+                                           std::move(payload).to_vector(),
+                                           /*tracked=*/false));
 }
 
 Message Comm::recv(int source, int tag) {
-  return world_->mailboxes_[static_cast<std::size_t>(rank_)].recv(source, tag);
+  // Flush-before-blocking discipline: anything this process buffered is
+  // pushed into the fabric before this rank can block on a reply that may
+  // depend on it.
+  if (world_->multiprocess()) world_->endpoint_->flush();
+  return world_->mailboxes_[world_->local_index(rank_)].recv(source, tag);
 }
 
 std::optional<Message> Comm::try_recv(int source, int tag) {
-  return world_->mailboxes_[static_cast<std::size_t>(rank_)].try_recv(source,
-                                                                      tag);
+  if (world_->multiprocess()) world_->endpoint_->flush();
+  return world_->mailboxes_[world_->local_index(rank_)].try_recv(source, tag);
 }
 
-void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+void Comm::barrier() {
+  if (!world_->multiprocess()) {
+    world_->barrier_.arrive_and_wait();
+    return;
+  }
+  // Local barrier whose completion extends the synchronization across
+  // processes: the last local arriver flushes every buffered frame and
+  // exchanges one marker round with the peer processes.
+  world_->barrier_.arrive_and_wait(
+      [w = world_] { w->exchange_barrier_round(); });
+  world_->throw_if_aborted();
+}
 
 void Comm::close_congestion_cycle() {
+  if (world_->multiprocess())
+    throw std::logic_error(
+        "close_congestion_cycle: multi-process worlds close cycles only "
+        "via barrier_close_cycle (the close needs the cross-process maxima "
+        "reduction)");
   CommMetrics& metrics = comm_metrics();
   metrics.congestion_max_per_cycle.record_max(
       static_cast<double>(world_->tracker_.current_max()));
@@ -87,7 +170,12 @@ void Comm::barrier_close_cycle() {
   // none can send for the next one (none is released), so the captured
   // per-cycle maximum is identical to the barrier/close/barrier bracket —
   // at one synchronization instead of two.
-  world_->barrier_.arrive_and_wait([this] { close_congestion_cycle(); });
+  if (!world_->multiprocess()) {
+    world_->barrier_.arrive_and_wait([this] { close_congestion_cycle(); });
+    return;
+  }
+  world_->barrier_.arrive_and_wait([w = world_] { w->exchange_cycle_close(); });
+  world_->throw_if_aborted();
 }
 
 std::vector<double> Comm::broadcast(int root, std::vector<double> payload) {
@@ -191,11 +279,54 @@ std::vector<double> Comm::allreduce_tree_impl(std::vector<double> payload,
 }
 
 CommWorld::CommWorld(std::size_t size, RunPolicy policy)
-    : policy_(policy), mailboxes_(size), barrier_(size), tracker_(size) {
-  if (size == 0) throw std::invalid_argument("CommWorld needs >= 1 rank");
+    : CommWorld(WorldLayout{size, 1, 0}, nullptr, policy) {}
+
+CommWorld::CommWorld(const WorldLayout& layout,
+                     transport::Endpoint* endpoint, RunPolicy policy)
+    : policy_(policy),
+      layout_(layout),
+      endpoint_(endpoint),
+      mailboxes_(layout.local_count()),
+      barrier_(layout.local_count()),
+      tracker_(layout.local_count()) {
+  if (layout_.global_size == 0)
+    throw std::invalid_argument("CommWorld needs >= 1 rank");
+  if (layout_.processes == 0 || layout_.process_index >= layout_.processes)
+    throw std::invalid_argument("CommWorld: bad process layout");
+  if (endpoint_ == nullptr) {
+    if (layout_.processes != 1)
+      throw std::invalid_argument(
+          "CommWorld: a multi-process layout needs a transport endpoint");
+    return;
+  }
+  if (endpoint_->process_count() != layout_.processes ||
+      endpoint_->process_index() != layout_.process_index)
+    throw std::invalid_argument(
+        "CommWorld: endpoint and layout disagree on the process grid");
+  // Drain threads feed these mailboxes from outside the fiber world: the
+  // engine's deadlock detector must not fire while a rank waits on one.
+  for (Mailbox& mailbox : mailboxes_) mailbox.mark_external_feed();
+  util::MutexLock lock(exchange_mutex_);
+  markers_from_.assign(layout_.processes, 0);
+  cycle_max_from_.assign(layout_.processes, {});
+}
+
+CommWorld::~CommWorld() {
+  // run() joins the drain threads on every path; this is the backstop for
+  // a world destroyed without (or mid-) run.
+  if (!drains_.empty()) {
+    note_abort("CommWorld destroyed while draining");
+    for (auto& t : drains_) {
+      if (t.joinable()) t.join();
+    }
+  }
 }
 
 void CommWorld::run(const std::function<void(Comm&)>& body) {
+  if (multiprocess()) {
+    run_multiprocess(body);
+    return;
+  }
   switch (policy_.mode) {
     case RunPolicy::Mode::kThreadPerRank:
       run_thread_per_rank(body);
@@ -208,7 +339,7 @@ void CommWorld::run(const std::function<void(Comm&)>& body) {
       // is no more oversubscribed than the engine's pool and skips the
       // fiber machinery.  Beyond that, thread-per-rank degrades (and
       // eventually fails to spawn) — multiplex.
-      if (size() > resolved_worker_count(policy_)) {
+      if (layout_.local_count() > resolved_worker_count(policy_)) {
         run_superstep(body);
       } else {
         run_thread_per_rank(body);
@@ -217,14 +348,194 @@ void CommWorld::run(const std::function<void(Comm&)>& body) {
   }
 }
 
+void CommWorld::run_multiprocess(const std::function<void(Comm&)>& body) {
+  drains_.reserve(layout_.processes - 1);
+  for (std::size_t p = 0; p < layout_.processes; ++p) {
+    if (p == layout_.process_index) continue;
+    drains_.emplace_back([this, p] { drain_peer(p); });
+  }
+  // Always the superstep engine: its blocked-world unwinding is what turns
+  // a poisoned mailbox or a dead peer into exception propagation for every
+  // local rank instead of a hang.
+  std::exception_ptr first_error;
+  try {
+    run_superstep(body);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  if (first_error) {
+    std::string reason = "rank body failed";
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const std::exception& e) {
+      reason = e.what();
+    } catch (...) {
+    }
+    note_abort(reason);
+  } else {
+    try {
+      for (std::size_t p = 0; p < layout_.processes; ++p) {
+        if (p == layout_.process_index) continue;
+        endpoint_->send(p, transport::WireFrame::control(
+                               transport::FrameKind::kShutdown, 0));
+      }
+      endpoint_->flush();
+    } catch (const std::exception& e) {
+      note_abort(e.what());
+    }
+  }
+  // Each drain exits on its peer's kShutdown (orderly) or on the abort it
+  // just propagated — so joining here means "the whole world finished",
+  // not just this process's block.
+  for (auto& t : drains_) t.join();
+  drains_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+  throw_if_aborted();
+}
+
+void CommWorld::drain_peer(std::size_t peer) {
+  transport::WireFrame frame;
+  try {
+    while (endpoint_->recv(peer, frame)) {
+      switch (frame.kind) {
+        case transport::FrameKind::kMessage: {
+          const std::size_t local = local_index(frame.dest);
+          if (local >= mailboxes_.size())
+            throw transport::TransportError("misrouted frame for rank " +
+                                            std::to_string(frame.dest));
+          if (frame.tracked) tracker_.record(local);
+          mailboxes_[local].push(
+              Message{frame.source, frame.tag, std::move(frame.payload)});
+          break;
+        }
+        case transport::FrameKind::kBarrierMarker: {
+          util::MutexLock lock(exchange_mutex_);
+          ++markers_from_[peer];
+          if (frame.value != markers_from_[peer])
+            throw transport::TransportError(
+                "barrier phase skew with process " + std::to_string(peer));
+          exchange_cv_.notify_all();
+          break;
+        }
+        case transport::FrameKind::kCycleMax: {
+          util::MutexLock lock(exchange_mutex_);
+          cycle_max_from_[peer].push_back(frame.value);
+          exchange_cv_.notify_all();
+          break;
+        }
+        default:
+          // kHello / kShutdown never surface from Endpoint::recv.
+          throw transport::TransportError("unexpected frame kind from peer " +
+                                          std::to_string(peer));
+      }
+    }
+  } catch (const std::exception& e) {
+    note_abort(e.what());
+  }
+}
+
+void CommWorld::note_abort(const std::string& reason) {
+  {
+    util::MutexLock lock(exchange_mutex_);
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      abort_reason_ = reason;
+      aborted_.store(true, std::memory_order_release);
+    }
+    exchange_cv_.notify_all();
+  }
+  if (endpoint_ != nullptr) endpoint_->abort(reason);
+  for (auto& mailbox : mailboxes_) mailbox.poison(reason);
+}
+
+void CommWorld::throw_if_aborted() const {
+  if (!aborted_.load(std::memory_order_acquire)) return;
+  util::MutexLock lock(exchange_mutex_);
+  throw transport::TransportError(abort_reason_);
+}
+
+bool CommWorld::marker_round() {
+  std::uint64_t phase = 0;
+  {
+    util::MutexLock lock(exchange_mutex_);
+    phase = ++marker_phase_;
+  }
+  for (std::size_t p = 0; p < layout_.processes; ++p) {
+    if (p == layout_.process_index) continue;
+    endpoint_->send(p, transport::WireFrame::control(
+                           transport::FrameKind::kBarrierMarker, phase));
+  }
+  // This flush also carries every substrate message local ranks buffered
+  // before arriving at the barrier — the marker lands behind them in each
+  // per-peer FIFO, making it a delivery fence.
+  endpoint_->flush();
+  util::MutexLock lock(exchange_mutex_);
+  for (std::size_t p = 0; p < layout_.processes; ++p) {
+    if (p == layout_.process_index) continue;
+    while (markers_from_[p] < phase) {
+      if (aborted_.load(std::memory_order_acquire)) return false;
+      exchange_cv_.wait(exchange_mutex_);
+    }
+  }
+  return !aborted_.load(std::memory_order_acquire);
+}
+
+void CommWorld::exchange_barrier_round() noexcept {
+  try {
+    (void)marker_round();
+  } catch (const std::exception& e) {
+    note_abort(e.what());
+  }
+}
+
+void CommWorld::exchange_cycle_close() noexcept {
+  try {
+    // Round 1: after this, every cycle message world-wide sits in its
+    // destination process's tracker (markers fence delivery per channel).
+    if (!marker_round()) return;
+    const std::uint64_t local_max = tracker_.current_max();
+    std::uint64_t global_max = local_max;
+    for (std::size_t p = 0; p < layout_.processes; ++p) {
+      if (p == layout_.process_index) continue;
+      endpoint_->send(p, transport::WireFrame::control(
+                             transport::FrameKind::kCycleMax, local_max));
+    }
+    endpoint_->flush();
+    {
+      util::MutexLock lock(exchange_mutex_);
+      for (std::size_t p = 0; p < layout_.processes; ++p) {
+        if (p == layout_.process_index) continue;
+        while (cycle_max_from_[p].empty()) {
+          if (aborted_.load(std::memory_order_acquire)) return;
+          exchange_cv_.wait(exchange_mutex_);
+        }
+        global_max = std::max(global_max, cycle_max_from_[p].front());
+        cycle_max_from_[p].pop_front();
+      }
+    }
+    CommMetrics& metrics = comm_metrics();
+    metrics.congestion_max_per_cycle.record_max(
+        static_cast<double>(global_max));
+    metrics.congestion_cycles.add(1);
+    tracker_.end_cycle(global_max);
+    // Round 2: no process releases its ranks into the next cycle until
+    // every process finished recording this one — otherwise an early
+    // peer's next-cycle messages could leak into our still-open counters.
+    (void)marker_round();
+  } catch (const std::exception& e) {
+    note_abort(e.what());
+  }
+}
+
 void CommWorld::run_thread_per_rank(const std::function<void(Comm&)>& body) {
+  const std::size_t local = layout_.local_count();
+  const std::size_t begin = layout_.local_begin();
   std::vector<std::thread> threads;
-  threads.reserve(size());
+  threads.reserve(local);
   std::exception_ptr first_error;
   util::Mutex error_mutex;
-  for (std::size_t r = 0; r < size(); ++r) {
-    threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
-      Comm comm(*this, static_cast<int>(r));
+  for (std::size_t r = 0; r < local; ++r) {
+    threads.emplace_back([this, r, begin, &body, &first_error, &error_mutex] {
+      Comm comm(*this, static_cast<int>(begin + r));
       try {
         body(comm);
       } catch (...) {
@@ -241,9 +552,10 @@ void CommWorld::run_superstep(const std::function<void(Comm&)>& body) {
   SuperstepEngine::Config config;
   config.workers = policy_.workers;
   config.stack_bytes = policy_.stack_bytes;
-  SuperstepEngine engine(size(), config);
-  engine.run([this, &body](int rank) {
-    Comm comm(*this, rank);
+  SuperstepEngine engine(layout_.local_count(), config);
+  const std::size_t begin = layout_.local_begin();
+  engine.run([this, begin, &body](int rank) {
+    Comm comm(*this, static_cast<int>(begin) + rank);
     body(comm);
   });
 }

@@ -20,10 +20,28 @@
 //
 //   CommWorld world(8);
 //   world.run([&](Comm& comm) { ... comm.rank() ... comm.barrier(); ... });
+// Multi-process worlds (the pluggable transport seam, DESIGN.md §11):
+// the same CommWorld can be one *process's share* of a larger world.  A
+// WorldLayout names the global size and this process's contiguous rank
+// block; a transport::Endpoint (shm ring or UDS, parallel/transport/)
+// carries frames to the sibling processes.  Local ranks run as superstep
+// fibers exactly as before; sends to remote ranks are encoded as
+// WireFrames and batched across the seam, and one drain thread per peer
+// feeds remote messages into the local mailboxes.  Barriers extend across
+// processes via a marker exchange performed in the local barrier's
+// completion slot, and barrier_close_cycle() additionally reduces the
+// per-process congestion maxima so every process records the identical
+// world-wide per-cycle maximum.  A world with no endpoint is the
+// historical in-process substrate, bit-identical and untouched.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "parallel/barrier.hpp"
@@ -33,7 +51,39 @@
 
 namespace mwr::parallel {
 
+namespace transport {
+class Endpoint;
+}  // namespace transport
+
 class CommWorld;
+
+/// How a global world is split across processes: `processes` contiguous
+/// rank blocks, sized as evenly as possible (the first global_size %
+/// processes blocks get one extra rank).  Every process derives the same
+/// block map from the same (global_size, processes) pair.
+struct WorldLayout {
+  std::size_t global_size = 1;
+  std::size_t processes = 1;
+  std::size_t process_index = 0;
+
+  [[nodiscard]] static std::size_t block_begin(std::size_t global_size,
+                                               std::size_t processes,
+                                               std::size_t process) noexcept;
+  [[nodiscard]] static std::size_t block_count(std::size_t global_size,
+                                               std::size_t processes,
+                                               std::size_t process) noexcept;
+  /// Which process hosts global rank `rank`.
+  [[nodiscard]] static std::size_t owner_of(std::size_t global_size,
+                                            std::size_t processes,
+                                            std::size_t rank) noexcept;
+
+  [[nodiscard]] std::size_t local_begin() const noexcept {
+    return block_begin(global_size, processes, process_index);
+  }
+  [[nodiscard]] std::size_t local_count() const noexcept {
+    return block_count(global_size, processes, process_index);
+  }
+};
 
 /// How CommWorld::run maps logical ranks onto OS threads.
 struct RunPolicy {
@@ -146,16 +196,40 @@ class Comm {
   int rank_;
 };
 
-/// Owns the mailboxes, barrier, and congestion tracker shared by all ranks.
+/// Owns the mailboxes, barrier, and congestion tracker shared by all local
+/// ranks — the whole world in-process, or one process's block of a
+/// multi-process world when constructed over a transport endpoint.
 class CommWorld {
  public:
   explicit CommWorld(std::size_t size, RunPolicy policy = {});
 
-  [[nodiscard]] std::size_t size() const noexcept { return mailboxes_.size(); }
+  /// One process's share of a multi-process world.  `endpoint` (not owned;
+  /// must outlive the world) connects to the sibling processes and must
+  /// agree with `layout` on the process count.  Multi-process worlds
+  /// always execute on the superstep engine: its blocked-world unwinding
+  /// is what turns a peer death into clean exception propagation instead
+  /// of a hang.  Passing nullptr with a single-process layout degenerates
+  /// to the in-process substrate.
+  CommWorld(const WorldLayout& layout, transport::Endpoint* endpoint,
+            RunPolicy policy = {});
+
+  ~CommWorld();
+  CommWorld(const CommWorld&) = delete;
+  CommWorld& operator=(const CommWorld&) = delete;
+
+  /// Global world size (== local size for in-process worlds).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return layout_.global_size;
+  }
+  [[nodiscard]] const WorldLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] bool multiprocess() const noexcept {
+    return endpoint_ != nullptr;
+  }
   [[nodiscard]] const RunPolicy& policy() const noexcept { return policy_; }
 
   /// Runs one logical rank per `body(comm)` — as real threads or as
-  /// engine fibers per the policy — and returns when all ranks finished.
+  /// engine fibers per the policy — and returns when all local ranks
+  /// finished (for multi-process worlds: and the peer streams closed).
   /// Exceptions from any rank propagate to the caller (first one wins).
   /// In superstep mode a world where every unfinished rank is blocked is
   /// detected, unwound, and reported instead of hanging.
@@ -170,10 +244,45 @@ class CommWorld {
   void run_thread_per_rank(const std::function<void(Comm&)>& body);
   void run_superstep(const std::function<void(Comm&)>& body);
 
+  [[nodiscard]] std::size_t local_index(int global_rank) const noexcept {
+    return static_cast<std::size_t>(global_rank) - layout_.local_begin();
+  }
+
+  // Multi-process machinery (all no-ops when endpoint_ == nullptr).
+  void run_multiprocess(const std::function<void(Comm&)>& body);
+  void drain_peer(std::size_t peer);
+  void note_abort(const std::string& reason);
+  void throw_if_aborted() const MWR_EXCLUDES(exchange_mutex_);
+  /// Completion-slot body of a global barrier(): one marker round.
+  /// Must not throw (it runs under the local barrier's lock) — failures
+  /// become note_abort(), and released ranks throw via throw_if_aborted().
+  void exchange_barrier_round() noexcept;
+  /// Completion-slot body of barrier_close_cycle(): marker round (all
+  /// cycle messages drained), maxima reduction, end_cycle with the global
+  /// max, then a second marker round so no peer starts the next cycle
+  /// before every process closed this one.
+  void exchange_cycle_close() noexcept;
+  /// One marker round: tell peers this process reached the next phase and
+  /// wait until they all did.  Returns false when the world aborted.
+  [[nodiscard]] bool marker_round();
+
   RunPolicy policy_;
+  WorldLayout layout_;
+  transport::Endpoint* endpoint_ = nullptr;
   std::vector<Mailbox> mailboxes_;
   CountingBarrier barrier_;
   CongestionTracker tracker_;
+
+  // Cross-process barrier/close bookkeeping, fed by the drain threads.
+  mutable util::Mutex exchange_mutex_;
+  util::CondVar exchange_cv_;
+  std::vector<std::uint64_t> markers_from_ MWR_GUARDED_BY(exchange_mutex_);
+  std::vector<std::deque<std::uint64_t>> cycle_max_from_
+      MWR_GUARDED_BY(exchange_mutex_);
+  std::uint64_t marker_phase_ MWR_GUARDED_BY(exchange_mutex_) = 0;
+  std::string abort_reason_ MWR_GUARDED_BY(exchange_mutex_);
+  std::atomic<bool> aborted_{false};
+  std::vector<std::thread> drains_;
 };
 
 // Tags reserved by the collectives; user tags should stay below 1 << 20.

@@ -28,6 +28,12 @@ void CongestionTracker::end_cycle() {
   max_per_cycle_.add(static_cast<double>(max_count));
 }
 
+void CongestionTracker::end_cycle(std::uint64_t global_max) {
+  for (auto& c : counts_) c->store(0, std::memory_order_relaxed);
+  const util::MutexLock lock(stats_mutex_);
+  max_per_cycle_.add(static_cast<double>(global_max));
+}
+
 util::RunningStats CongestionTracker::max_per_cycle() const {
   const util::MutexLock lock(stats_mutex_);
   return max_per_cycle_;

@@ -35,6 +35,13 @@ class CongestionTracker {
   /// record() — callers close cycles at barrier points.
   void end_cycle() MWR_EXCLUDES(stats_mutex_);
 
+  /// Closes the current cycle recording a caller-supplied maximum instead
+  /// of the locally observed one.  Multi-process worlds track only their
+  /// local destinations; the barrier-close exchange reduces the per-process
+  /// maxima to the world-wide one and every process records that value, so
+  /// congestion statistics are identical in every process.
+  void end_cycle(std::uint64_t global_max) MWR_EXCLUDES(stats_mutex_);
+
   /// Heaviest-hit node count in the *current* (open) cycle.
   [[nodiscard]] std::uint64_t current_max() const noexcept;
 

@@ -36,6 +36,13 @@ class CoopScheduler {
   /// Barrier completions report here so the engine can count superstep
   /// boundaries (obs metric spmd.engine.supersteps).
   virtual void note_superstep_boundary() noexcept = 0;
+
+  /// Brackets a suspension whose wake can come from *outside* the fiber
+  /// world (a transport drain thread delivering a remote message).  While
+  /// any such wait is outstanding the engine must not treat an all-blocked
+  /// rank set as a deadlock — progress can still arrive over the wire.
+  /// delta is +1 entering the wait, -1 leaving it (normally or by unwind).
+  virtual void note_external_wait(int delta) noexcept { (void)delta; }
 };
 
 /// Identity of the fiber currently executing on this OS thread.  A copy of

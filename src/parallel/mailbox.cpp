@@ -62,6 +62,29 @@ void Mailbox::push(Message message) {
   cv_.notify_all();
 }
 
+void Mailbox::poison(std::string reason) {
+  CoopToken waiter{};
+  bool wake_fiber = false;
+  {
+    util::MutexLock lock(mutex_);
+    if (poisoned_) return;
+    poisoned_ = true;
+    poison_reason_ = std::move(reason);
+    if (has_waiter_) {
+      waiter = waiter_;
+      has_waiter_ = false;
+      wake_fiber = true;
+    }
+  }
+  if (wake_fiber) waiter.wake();
+  cv_.notify_all();
+}
+
+void Mailbox::throw_if_poisoned_locked() const {
+  if (poisoned_)
+    throw std::runtime_error("mailbox poisoned: " + poison_reason_);
+}
+
 std::optional<Message> Mailbox::take_locked(int source, int tag) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     const bool source_ok = source == kAnySource || it->source == source;
@@ -89,10 +112,26 @@ Message Mailbox::recv(int source, int tag) {
           mailbox_metrics().messages_delivered.add(1);
           return std::move(*m);
         }
+        throw_if_poisoned_locked();
         waiter_ = *coop;
         has_waiter_ = true;
       }
-      coop->scheduler->suspend_current();
+      if (external_feed_) {
+        // The wake may come from a transport drain thread: bracket the
+        // suspension so the engine knows the world can still progress.
+        // suspend_current can throw (SuperstepAbort unwind) — balance the
+        // count on that path too.
+        coop->scheduler->note_external_wait(+1);
+        try {
+          coop->scheduler->suspend_current();
+        } catch (...) {
+          coop->scheduler->note_external_wait(-1);
+          throw;
+        }
+        coop->scheduler->note_external_wait(-1);
+      } else {
+        coop->scheduler->suspend_current();
+      }
     }
   }
   std::optional<Message> taken;
@@ -101,6 +140,7 @@ Message Mailbox::recv(int source, int tag) {
     for (;;) {
       taken = take_locked(source, tag);
       if (taken) break;
+      throw_if_poisoned_locked();
       cv_.wait(mutex_);
     }
   }
@@ -113,6 +153,7 @@ std::optional<Message> Mailbox::try_recv(int source, int tag) {
   {
     util::MutexLock lock(mutex_);
     taken = take_locked(source, tag);
+    if (!taken) throw_if_poisoned_locked();
   }
   if (taken) mailbox_metrics().messages_delivered.add(1);
   return taken;

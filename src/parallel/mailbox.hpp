@@ -142,20 +142,39 @@ class Mailbox {
                                                 int tag = kAnyTag)
       MWR_EXCLUDES(mutex_);
 
+  /// Fails the mailbox: wakes any blocked receiver and makes recv() /
+  /// try_recv() throw once no already-delivered message matches.  The
+  /// multi-process world uses this to unblock ranks waiting on messages a
+  /// dead peer will never send.
+  void poison(std::string reason) MWR_EXCLUDES(mutex_);
+
   /// Messages currently queued (racy by nature; for diagnostics).
   [[nodiscard]] std::size_t pending() const MWR_EXCLUDES(mutex_);
+
+  /// Declares that pushes can originate outside the fiber world (a
+  /// transport drain thread).  A fiber blocking on such a mailbox brackets
+  /// its suspension with CoopScheduler::note_external_wait so the engine's
+  /// deadlock detector does not mistake a wait for remote traffic for an
+  /// all-blocked world.  Set once by the multi-process CommWorld before any
+  /// rank runs.
+  void mark_external_feed() noexcept { external_feed_ = true; }
 
  private:
   [[nodiscard]] std::optional<Message> take_locked(int source, int tag)
       MWR_REQUIRES(mutex_);
+  void throw_if_poisoned_locked() const MWR_REQUIRES(mutex_);
 
   mutable util::Mutex mutex_;
   util::CondVar cv_;
   std::deque<Message> queue_ MWR_GUARDED_BY(mutex_);
+  bool poisoned_ MWR_GUARDED_BY(mutex_) = false;
+  std::string poison_reason_ MWR_GUARDED_BY(mutex_);
   // Single-consumer: at most one registered cooperative waiter (the owning
   // rank's fiber), armed under mutex_ by recv and disarmed by push.
   CoopToken waiter_ MWR_GUARDED_BY(mutex_){};
   bool has_waiter_ MWR_GUARDED_BY(mutex_) = false;
+  // Written once before the world runs, read by the owning fiber only.
+  bool external_feed_ = false;
 };
 
 }  // namespace mwr::parallel

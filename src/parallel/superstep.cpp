@@ -75,6 +75,9 @@ struct SuperstepEngine::Impl {
   std::deque<int> runnable MWR_GUARDED_BY(mutex);
   std::size_t unfinished MWR_GUARDED_BY(mutex) = 0;
   std::size_t running MWR_GUARDED_BY(mutex) = 0;
+  // Ranks suspended in waits an external agent (a transport drain thread)
+  // can satisfy; while nonzero, all-blocked is not a deadlock.
+  std::size_t external_waiters MWR_GUARDED_BY(mutex) = 0;
   bool aborting MWR_GUARDED_BY(mutex) = false;
   std::size_t aborted_ranks MWR_GUARDED_BY(mutex) = 0;
   std::exception_ptr first_error MWR_GUARDED_BY(mutex);
@@ -92,7 +95,8 @@ struct SuperstepEngine::Impl {
   // them by requeuing with the abort flag set, so their suspension point
   // throws SuperstepAbort and the stacks unwind cleanly.
   void check_deadlock_locked() MWR_REQUIRES(mutex) {
-    if (aborting || running != 0 || !runnable.empty() || unfinished == 0)
+    if (aborting || running != 0 || !runnable.empty() || unfinished == 0 ||
+        external_waiters != 0)
       return;
     aborting = true;
     for (std::size_t r = 0; r < slots.size(); ++r) {
@@ -249,6 +253,16 @@ void SuperstepEngine::wake(int rank) {
 
 void SuperstepEngine::note_superstep_boundary() noexcept {
   engine_metrics().supersteps.add(1);
+}
+
+void SuperstepEngine::note_external_wait(int delta) noexcept {
+  Impl& impl = *impl_;
+  util::MutexLock lock(impl.mutex);
+  if (delta > 0) {
+    impl.external_waiters += static_cast<std::size_t>(delta);
+  } else {
+    impl.external_waiters -= static_cast<std::size_t>(-delta);
+  }
 }
 
 }  // namespace mwr::parallel

@@ -67,6 +67,7 @@ class SuperstepEngine final : public CoopScheduler {
   void suspend_current() override;
   void wake(int rank) override;
   void note_superstep_boundary() noexcept override;
+  void note_external_wait(int delta) noexcept override;
 
  private:
   struct Impl;

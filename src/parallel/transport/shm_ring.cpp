@@ -1,0 +1,274 @@
+#include "parallel/transport/shm_ring.hpp"
+
+#include <cstring>
+#include <string>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <ctime>
+#else
+#include <thread>
+#endif
+
+namespace mwr::parallel::transport {
+
+namespace {
+
+// Every blocking wait re-checks the abort flag at least this often, so a
+// SIGKILLed sibling (which leaves no EOF in shared memory) stalls the
+// world for at most one slice before the launcher-set flag is seen.
+constexpr int kWaitSliceMs = 100;
+
+#if defined(__linux__)
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected) {
+  timespec ts{};
+  ts.tv_sec = kWaitSliceMs / 1000;
+  ts.tv_nsec = static_cast<long>(kWaitSliceMs % 1000) * 1'000'000L;
+  // Spurious/expired/EAGAIN returns are all fine: callers loop on the
+  // ring state and the abort flag.
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* word) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+          INT32_MAX, nullptr, nullptr, 0);
+}
+#else
+void futex_wait(std::atomic<std::uint32_t>*, std::uint32_t) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+void futex_wake_all(std::atomic<std::uint32_t>*) {}
+#endif
+
+struct alignas(64) WorldHdr {
+  std::atomic<std::uint32_t> abort_flag;
+  char abort_reason[116];
+};
+
+// SPSC byte ring: `tail` counts bytes ever produced, `head` bytes ever
+// consumed; both only grow, so fill = tail - head without wrap ambiguity.
+// The 32-bit *_seq mirrors exist because futexes wait on 32-bit words.
+struct alignas(64) RingHdr {
+  std::atomic<std::uint64_t> tail;
+  std::atomic<std::uint32_t> tail_seq;
+  char pad0[48];
+  std::atomic<std::uint64_t> head;
+  std::atomic<std::uint32_t> head_seq;
+  char pad1[48];
+};
+
+struct Ring {
+  RingHdr* hdr;
+  std::uint8_t* data;
+  std::size_t capacity;
+};
+
+std::size_t ring_stride(std::size_t ring_bytes) {
+  return sizeof(RingHdr) + ring_bytes;
+}
+
+Ring ring_at(void* base, std::size_t ring_bytes, std::size_t processes,
+             std::size_t src, std::size_t dst) {
+  auto* bytes = static_cast<std::uint8_t*>(base);
+  bytes += sizeof(WorldHdr);
+  bytes += ring_stride(ring_bytes) * (src * processes + dst);
+  return Ring{reinterpret_cast<RingHdr*>(bytes), bytes + sizeof(RingHdr),
+              ring_bytes};
+}
+
+WorldHdr* world_hdr(void* base) { return static_cast<WorldHdr*>(base); }
+
+void copy_into_ring(const Ring& ring, std::uint64_t tail,
+                    const std::uint8_t* data, std::size_t n) {
+  const std::size_t at = tail % ring.capacity;
+  const std::size_t first = std::min(n, ring.capacity - at);
+  std::memcpy(ring.data + at, data, first);
+  if (first < n) std::memcpy(ring.data, data + first, n - first);
+}
+
+void copy_from_ring(const Ring& ring, std::uint64_t head, std::uint8_t* out,
+                    std::size_t n) {
+  const std::size_t at = head % ring.capacity;
+  const std::size_t first = std::min(n, ring.capacity - at);
+  std::memcpy(out, ring.data + at, first);
+  if (first < n) std::memcpy(out + first, ring.data, n - first);
+}
+
+}  // namespace
+
+std::shared_ptr<ShmFabric> ShmFabric::create(std::size_t processes,
+                                             std::size_t global_ranks,
+                                             std::size_t ring_bytes) {
+  if (processes < 1) throw TransportError("shm fabric needs >= 1 process");
+  if (ring_bytes < 4096) ring_bytes = 4096;
+  auto fabric = std::shared_ptr<ShmFabric>(new ShmFabric());
+  fabric->processes_ = processes;
+  fabric->global_ranks_ = global_ranks;
+  fabric->ring_bytes_ = ring_bytes;
+  fabric->mapped_bytes_ =
+      sizeof(WorldHdr) + ring_stride(ring_bytes) * processes * processes;
+  void* base = ::mmap(nullptr, fabric->mapped_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED)
+    throw TransportError("mmap of " + std::to_string(fabric->mapped_bytes_) +
+                         "-byte fabric segment failed");
+  fabric->base_ = base;
+  // The anonymous mapping is zero-filled; placement-new makes the atomic
+  // lifetimes explicit (zero is the correct initial value for all of them).
+  new (base) WorldHdr{};
+  for (std::size_t s = 0; s < processes; ++s) {
+    for (std::size_t d = 0; d < processes; ++d) {
+      new (ring_at(base, ring_bytes, processes, s, d).hdr) RingHdr{};
+    }
+  }
+  return fabric;
+}
+
+ShmFabric::~ShmFabric() {
+  if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+}
+
+void ShmFabric::abort_world(const char* reason) noexcept {
+  WorldHdr* hdr = world_hdr(base_);
+  std::uint32_t expected = 0;
+  if (hdr->abort_flag.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel)) {
+    // Best-effort diagnostic: the flag is the synchronization, the text is
+    // advisory (readers tolerate a torn partial copy).
+    std::strncpy(hdr->abort_reason, reason, sizeof(hdr->abort_reason) - 1);
+    hdr->abort_reason[sizeof(hdr->abort_reason) - 1] = '\0';
+  }
+  for (std::size_t s = 0; s < processes_; ++s) {
+    for (std::size_t d = 0; d < processes_; ++d) {
+      const Ring ring = ring_at(base_, ring_bytes_, processes_, s, d);
+      futex_wake_all(&ring.hdr->tail_seq);
+      futex_wake_all(&ring.hdr->head_seq);
+    }
+  }
+}
+
+bool ShmFabric::world_aborted() const noexcept {
+  return world_hdr(base_)->abort_flag.load(std::memory_order_acquire) != 0;
+}
+
+std::string ShmFabric::world_abort_reason() const {
+  const WorldHdr* hdr = world_hdr(base_);
+  char buffer[sizeof(hdr->abort_reason)];
+  std::memcpy(buffer, hdr->abort_reason, sizeof(buffer));
+  buffer[sizeof(buffer) - 1] = '\0';
+  return buffer[0] != '\0' ? std::string(buffer)
+                           : std::string("peer process died");
+}
+
+struct ShmEndpoint::PeerDecode {
+  std::vector<std::uint8_t> staged;
+  std::size_t consumed = 0;
+  bool hello_seen = false;
+};
+
+ShmEndpoint::~ShmEndpoint() = default;
+
+ShmEndpoint::ShmEndpoint(std::shared_ptr<ShmFabric> fabric, std::size_t index)
+    : BufferedEndpoint(fabric->processes(), index), fabric_(std::move(fabric)) {
+  decode_.reserve(process_count());
+  for (std::size_t p = 0; p < process_count(); ++p) {
+    decode_.push_back(std::make_unique<PeerDecode>());
+  }
+  for (std::size_t p = 0; p < process_count(); ++p) {
+    if (p == index) continue;
+    send(p, WireFrame::control(
+                FrameKind::kHello,
+                geometry_fingerprint(fabric_->global_ranks_, process_count())));
+  }
+  flush();
+}
+
+void ShmEndpoint::write_bytes(std::size_t peer, const std::uint8_t* data,
+                              std::size_t size) {
+  const Ring ring = ring_at(fabric_->base_, fabric_->ring_bytes_,
+                            process_count(), process_index(), peer);
+  std::size_t written = 0;
+  while (written < size) {
+    if (fabric_->world_aborted() || abort_requested())
+      throw TransportError(fabric_->world_aborted()
+                               ? fabric_->world_abort_reason()
+                               : abort_reason());
+    const std::uint64_t tail = ring.hdr->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = ring.hdr->head.load(std::memory_order_acquire);
+    const std::size_t space = ring.capacity - static_cast<std::size_t>(
+                                                  tail - head);
+    if (space == 0) {
+      futex_wait(&ring.hdr->head_seq,
+                 ring.hdr->head_seq.load(std::memory_order_acquire));
+      continue;
+    }
+    const std::size_t n = std::min(space, size - written);
+    copy_into_ring(ring, tail, data + written, n);
+    ring.hdr->tail.store(tail + n, std::memory_order_release);
+    ring.hdr->tail_seq.store(static_cast<std::uint32_t>(tail + n),
+                             std::memory_order_release);
+    futex_wake_all(&ring.hdr->tail_seq);
+    written += n;
+  }
+}
+
+bool ShmEndpoint::recv(std::size_t peer, WireFrame& out) {
+  const Ring ring = ring_at(fabric_->base_, fabric_->ring_bytes_,
+                            process_count(), peer, process_index());
+  PeerDecode& dec = *decode_[peer];
+  for (;;) {
+    // Try to decode a complete frame from the staged bytes first.
+    const std::size_t used = decode_frame(dec.staged.data() + dec.consumed,
+                                          dec.staged.size() - dec.consumed,
+                                          out);
+    if (used != 0) {
+      dec.consumed += used;
+      if (dec.consumed == dec.staged.size()) {
+        dec.staged.clear();
+        dec.consumed = 0;
+      }
+      if (!dec.hello_seen) {
+        if (out.kind != FrameKind::kHello ||
+            out.value != geometry_fingerprint(fabric_->global_ranks_,
+                                              process_count()))
+          throw TransportError("shm handshake mismatch with peer " +
+                               std::to_string(peer));
+        dec.hello_seen = true;
+        continue;  // handshake consumed; fetch the first real frame
+      }
+      if (out.kind == FrameKind::kShutdown) return false;
+      detail::note_frames_received(1);
+      return true;
+    }
+    // Need more bytes from the ring.
+    const std::uint64_t head = ring.hdr->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ring.hdr->tail.load(std::memory_order_acquire);
+    const auto avail = static_cast<std::size_t>(tail - head);
+    if (avail == 0) {
+      if (fabric_->world_aborted())
+        throw TransportError(fabric_->world_abort_reason());
+      if (abort_requested()) throw TransportError(abort_reason());
+      futex_wait(&ring.hdr->tail_seq,
+                 ring.hdr->tail_seq.load(std::memory_order_acquire));
+      continue;
+    }
+    const std::size_t old = dec.staged.size();
+    dec.staged.resize(old + avail);
+    copy_from_ring(ring, head, dec.staged.data() + old, avail);
+    ring.hdr->head.store(head + avail, std::memory_order_release);
+    ring.hdr->head_seq.store(static_cast<std::uint32_t>(head + avail),
+                             std::memory_order_release);
+    futex_wake_all(&ring.hdr->head_seq);
+  }
+}
+
+void ShmEndpoint::abort_fabric(const std::string& reason) {
+  fabric_->abort_world(reason.c_str());
+}
+
+}  // namespace mwr::parallel::transport

@@ -1,0 +1,90 @@
+// Shared-memory ring transport: same-host multi-process worlds over one
+// MAP_SHARED segment and futex wake-ups.
+//
+// The fabric is created by the launcher *before* forking the worker
+// processes (anonymous shared mappings are inherited, so no filesystem
+// name and no cleanup).  It holds one SPSC byte ring per ordered process
+// pair: the producer side is process i's batched writer (serialized by the
+// BufferedEndpoint peer lock), the consumer side is process j's drain
+// thread for peer i — single producer, single consumer by construction,
+// so head/tail are plain acquire/release atomics.
+//
+// Blocking uses futexes on 32-bit mirrors of the head/tail counters: a
+// consumer with an empty ring waits on the tail word, a producer with a
+// full ring waits on the head word; every wait is timed (kWaitSliceMs) and
+// re-checks the segment's abort flag, which is how a world learns that the
+// launcher reaped a dead sibling (SIGKILL leaves no EOF in shared memory —
+// the flag is the kill-a-worker propagation path, CI's abort case).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "parallel/transport/transport.hpp"
+
+namespace mwr::parallel::transport {
+
+/// The pre-fork half: owns the MAP_SHARED segment.  Create in the
+/// launcher, then make one ShmEndpoint per child after fork.  The last
+/// owner (parent or child) unmaps on destruction; the kernel frees the
+/// segment when every mapping is gone.
+class ShmFabric {
+ public:
+  static constexpr std::size_t kDefaultRingBytes = 1u << 20;
+
+  /// Throws TransportError when the segment cannot be mapped.
+  static std::shared_ptr<ShmFabric> create(std::size_t processes,
+                                           std::size_t global_ranks,
+                                           std::size_t ring_bytes =
+                                               kDefaultRingBytes);
+
+  ~ShmFabric();
+  ShmFabric(const ShmFabric&) = delete;
+  ShmFabric& operator=(const ShmFabric&) = delete;
+
+  [[nodiscard]] std::size_t processes() const noexcept { return processes_; }
+
+  /// Sets the segment-wide abort flag and wakes every blocked waiter.
+  /// Callable from any process sharing the segment — including the
+  /// launcher, which uses it to propagate a worker death.
+  void abort_world(const char* reason) noexcept;
+
+  [[nodiscard]] bool world_aborted() const noexcept;
+  [[nodiscard]] std::string world_abort_reason() const;
+
+ private:
+  friend class ShmEndpoint;
+  ShmFabric() = default;
+
+  std::size_t processes_ = 0;
+  std::size_t global_ranks_ = 0;
+  std::size_t ring_bytes_ = 0;
+  void* base_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+};
+
+/// One process's endpoint onto an ShmFabric.  Construct after fork with
+/// that process's index.
+class ShmEndpoint final : public BufferedEndpoint {
+ public:
+  ShmEndpoint(std::shared_ptr<ShmFabric> fabric, std::size_t index);
+  ~ShmEndpoint() override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "shm"; }
+  [[nodiscard]] bool recv(std::size_t peer, WireFrame& out) override;
+
+ protected:
+  void write_bytes(std::size_t peer, const std::uint8_t* data,
+                   std::size_t size) override;
+  void abort_fabric(const std::string& reason) override;
+
+ private:
+  struct PeerDecode;
+
+  std::shared_ptr<ShmFabric> fabric_;
+  std::vector<std::unique_ptr<PeerDecode>> decode_;
+};
+
+}  // namespace mwr::parallel::transport

@@ -1,0 +1,167 @@
+#include "parallel/transport/uds.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mwr::parallel::transport {
+
+namespace {
+// Drain reads pull whatever the kernel has buffered, up to this much per
+// syscall, into the per-peer decode buffer.
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+}  // namespace
+
+std::shared_ptr<UdsFabric> UdsFabric::create(std::size_t processes,
+                                             std::size_t global_ranks) {
+  if (processes < 1) throw TransportError("uds fabric needs >= 1 process");
+  auto fabric = std::shared_ptr<UdsFabric>(new UdsFabric());
+  fabric->processes_ = processes;
+  fabric->global_ranks_ = global_ranks;
+  fabric->fds_.assign(processes * processes, -1);
+  for (std::size_t i = 0; i < processes; ++i) {
+    for (std::size_t j = i + 1; j < processes; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        throw TransportError(std::string("socketpair: ") +
+                             std::strerror(errno));
+      fabric->fds_[i * processes + j] = sv[0];
+      fabric->fds_[j * processes + i] = sv[1];
+    }
+  }
+  return fabric;
+}
+
+UdsFabric::~UdsFabric() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void UdsFabric::close_all() noexcept {
+  for (int& fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void UdsFabric::claim(std::size_t index) noexcept {
+  for (std::size_t self = 0; self < processes_; ++self) {
+    if (self == index) continue;
+    for (std::size_t peer = 0; peer < processes_; ++peer) {
+      int& fd = fds_[self * processes_ + peer];
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+}
+
+struct UdsEndpoint::PeerDecode {
+  std::vector<std::uint8_t> staged;
+  std::size_t consumed = 0;
+  bool hello_seen = false;
+};
+
+UdsEndpoint::~UdsEndpoint() = default;
+
+UdsEndpoint::UdsEndpoint(std::shared_ptr<UdsFabric> fabric, std::size_t index)
+    : BufferedEndpoint(fabric->processes(), index), fabric_(std::move(fabric)) {
+  fabric_->claim(index);
+  decode_.reserve(process_count());
+  for (std::size_t p = 0; p < process_count(); ++p) {
+    decode_.push_back(std::make_unique<PeerDecode>());
+  }
+  for (std::size_t p = 0; p < process_count(); ++p) {
+    if (p == index) continue;
+    send(p, WireFrame::control(
+                FrameKind::kHello,
+                geometry_fingerprint(fabric_->global_ranks_, process_count())));
+  }
+  flush();
+}
+
+void UdsEndpoint::write_bytes(std::size_t peer, const std::uint8_t* data,
+                              std::size_t size) {
+  const int fd = fabric_->fd(process_index(), peer);
+  if (fd < 0) throw TransportError("peer " + std::to_string(peer) + " closed");
+  std::size_t written = 0;
+  while (written < size) {
+    if (abort_requested()) throw TransportError(abort_reason());
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+    // process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("send to peer " + std::to_string(peer) + ": " +
+                           std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+bool UdsEndpoint::recv(std::size_t peer, WireFrame& out) {
+  const int fd = fabric_->fd(process_index(), peer);
+  PeerDecode& dec = *decode_[peer];
+  for (;;) {
+    const std::size_t used = decode_frame(dec.staged.data() + dec.consumed,
+                                          dec.staged.size() - dec.consumed,
+                                          out);
+    if (used != 0) {
+      dec.consumed += used;
+      if (dec.consumed == dec.staged.size()) {
+        dec.staged.clear();
+        dec.consumed = 0;
+      }
+      if (!dec.hello_seen) {
+        if (out.kind != FrameKind::kHello ||
+            out.value != geometry_fingerprint(fabric_->global_ranks_,
+                                              process_count()))
+          throw TransportError("uds handshake mismatch with peer " +
+                               std::to_string(peer));
+        dec.hello_seen = true;
+        continue;  // handshake consumed; fetch the first real frame
+      }
+      if (out.kind == FrameKind::kShutdown) return false;
+      detail::note_frames_received(1);
+      return true;
+    }
+    if (abort_requested()) throw TransportError(abort_reason());
+    if (fd < 0)
+      throw TransportError("peer " + std::to_string(peer) + " closed");
+    const std::size_t old = dec.staged.size();
+    dec.staged.resize(old + kReadChunkBytes);
+    const ssize_t n = ::recv(fd, dec.staged.data() + old, kReadChunkBytes, 0);
+    if (n <= 0) {
+      dec.staged.resize(old);
+      if (n < 0 && errno == EINTR) continue;
+      // 0 = EOF without a kShutdown frame: the peer died (or a local
+      // abort shut the pair down) — either way, the abort path.
+      if (abort_requested()) throw TransportError(abort_reason());
+      throw TransportError("peer " + std::to_string(peer) +
+                           " died mid-stream (EOF before shutdown)");
+    }
+    dec.staged.resize(old + static_cast<std::size_t>(n));
+  }
+}
+
+void UdsEndpoint::abort_fabric(const std::string& /*reason*/) {
+  // SHUT_RDWR both wakes this process's blocked reads (they see EOF) and
+  // shows every peer the same EOF, which their drain threads turn into a
+  // world abort.  The reason string cannot cross a closed socket; peers
+  // report the generic dead-peer message.
+  for (std::size_t peer = 0; peer < process_count(); ++peer) {
+    if (peer == process_index()) continue;
+    const int fd = fabric_->fd(process_index(), peer);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+}  // namespace mwr::parallel::transport

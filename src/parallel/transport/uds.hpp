@@ -1,0 +1,89 @@
+// Unix-domain-socket transport: multi-process worlds whose processes
+// share nothing but the kernel.
+//
+// The fabric is a matrix of AF_UNIX stream socketpairs, one per unordered
+// process pair, created by the launcher *before* forking so every child
+// inherits its ends and nothing touches the filesystem namespace.  After
+// fork each child claims its own row (closing every fd that belongs to a
+// sibling); the launcher releases the whole fabric once all children are
+// running.
+//
+// Stream semantics give the two properties CommWorld needs for free:
+// per-peer FIFO delivery (the non-overtaking mailbox guarantee) and a
+// definite end-of-stream — a dead peer's sockets read EOF, which recv()
+// reports as `false` and the drain thread turns into a world abort.  A
+// local abort calls shutdown(SHUT_RDWR) on every owned fd, which both
+// wakes this process's blocked reads and shows peers the same EOF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parallel/transport/transport.hpp"
+
+namespace mwr::parallel::transport {
+
+/// The pre-fork half: owns one socketpair per unordered process pair.
+class UdsFabric {
+ public:
+  /// Throws TransportError when a socketpair cannot be created.
+  static std::shared_ptr<UdsFabric> create(std::size_t processes,
+                                           std::size_t global_ranks);
+
+  ~UdsFabric();
+  UdsFabric(const UdsFabric&) = delete;
+  UdsFabric& operator=(const UdsFabric&) = delete;
+
+  [[nodiscard]] std::size_t processes() const noexcept { return processes_; }
+
+  /// Closes every fd this copy of the fabric still holds.  The launcher
+  /// calls this after forking all children: once the parent's ends are
+  /// gone, a dead child's sockets read EOF at its peers — the launcher
+  /// holding them open would mask worker deaths.
+  void close_all() noexcept;
+
+ private:
+  friend class UdsEndpoint;
+
+  UdsFabric() = default;
+
+  /// fd this process uses to exchange frames with `peer`, or -1 once
+  /// closed.  Row `index` is process index's end of each pair.
+  [[nodiscard]] int fd(std::size_t self, std::size_t peer) const noexcept {
+    return fds_[self * processes_ + peer];
+  }
+
+  /// Closes every fd that does not belong to process `index`.  Called by
+  /// the claiming endpoint right after fork.
+  void claim(std::size_t index) noexcept;
+
+  std::size_t processes_ = 0;
+  std::size_t global_ranks_ = 0;
+  std::vector<int> fds_;
+};
+
+/// One process's endpoint onto a UdsFabric.  Construct after fork with
+/// that process's index; construction claims the fabric row.
+class UdsEndpoint final : public BufferedEndpoint {
+ public:
+  UdsEndpoint(std::shared_ptr<UdsFabric> fabric, std::size_t index);
+  ~UdsEndpoint() override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "uds"; }
+  [[nodiscard]] bool recv(std::size_t peer, WireFrame& out) override;
+
+ protected:
+  void write_bytes(std::size_t peer, const std::uint8_t* data,
+                   std::size_t size) override;
+  void abort_fabric(const std::string& reason) override;
+
+ private:
+  struct PeerDecode;
+
+  std::shared_ptr<UdsFabric> fabric_;
+  std::vector<std::unique_ptr<PeerDecode>> decode_;
+};
+
+}  // namespace mwr::parallel::transport

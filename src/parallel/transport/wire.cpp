@@ -1,0 +1,100 @@
+#include "parallel/transport/wire.hpp"
+
+#include <cstring>
+
+namespace mwr::parallel::transport {
+
+namespace {
+// Frames above this are protocol errors, not big payloads: the largest
+// legitimate payload is one collective contribution (num_options doubles),
+// orders of magnitude below this.
+constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t*& p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+  return value;
+}
+}  // namespace
+
+std::size_t encoded_size(const WireFrame& frame) noexcept {
+  return 4 + kFrameHeaderBytes + 8 * frame.payload.size();
+}
+
+void encode_frame(const WireFrame& frame, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + encoded_size(frame));
+  const auto body =
+      static_cast<std::uint32_t>(kFrameHeaderBytes + 8 * frame.payload.size());
+  put(out, body);
+  put(out, kWireMagic);
+  put(out, kWireVersion);
+  put(out, static_cast<std::uint8_t>(frame.kind));
+  put(out, static_cast<std::uint8_t>(frame.tracked ? 1 : 0));
+  put(out, frame.source);
+  put(out, frame.dest);
+  put(out, frame.tag);
+  put(out, frame.value);
+  put(out, static_cast<std::uint32_t>(frame.payload.size()));
+  for (const double v : frame.payload) put(out, v);
+}
+
+std::size_t decode_frame(const std::uint8_t* data, std::size_t size,
+                         WireFrame& out) {
+  if (size < 4) return 0;
+  const std::uint8_t* p = data;
+  const auto body = get<std::uint32_t>(p);
+  if (body < kFrameHeaderBytes || body > kMaxFrameBytes)
+    throw WireFormatError("implausible frame length " + std::to_string(body));
+  if (size < 4 + static_cast<std::size_t>(body)) return 0;
+  const auto magic = get<std::uint32_t>(p);
+  if (magic != kWireMagic)
+    throw WireFormatError("bad magic " + std::to_string(magic));
+  const auto version = get<std::uint16_t>(p);
+  if (version != kWireVersion)
+    throw WireFormatError("version " + std::to_string(version) +
+                          " (expected " + std::to_string(kWireVersion) + ")");
+  const auto kind = get<std::uint8_t>(p);
+  if (kind > static_cast<std::uint8_t>(FrameKind::kShutdown))
+    throw WireFormatError("unknown frame kind " + std::to_string(kind));
+  out.kind = static_cast<FrameKind>(kind);
+  out.tracked = get<std::uint8_t>(p) != 0;
+  out.source = get<std::int32_t>(p);
+  out.dest = get<std::int32_t>(p);
+  out.tag = get<std::int32_t>(p);
+  out.value = get<std::uint64_t>(p);
+  const auto count = get<std::uint32_t>(p);
+  if (kFrameHeaderBytes + 8ull * count != body)
+    throw WireFormatError("payload count disagrees with frame length");
+  out.payload.resize(count);
+  if (count != 0) std::memcpy(out.payload.data(), p, 8ull * count);
+  return 4 + static_cast<std::size_t>(body);
+}
+
+std::uint64_t geometry_fingerprint(std::size_t global_ranks,
+                                   std::size_t processes) noexcept {
+  // FNV-1a over the two geometry words plus the wire version, so a HELLO
+  // from a world with different shape (or a future incompatible format)
+  // is rejected before any payload is trusted.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(global_ranks);
+  mix(processes);
+  mix(kWireVersion);
+  return h;
+}
+
+}  // namespace mwr::parallel::transport

@@ -23,6 +23,23 @@ class RunningStats {
   /// Folds another accumulator into this one.
   void merge(const RunningStats& other) noexcept;
 
+  /// Rebuilds an accumulator from its exported moments (m2 = variance *
+  /// (count - 1)).  Used to carry statistics across process boundaries —
+  /// a worker exports count/mean/m2/min/max through its result slot and
+  /// the launcher reconstructs the identical accumulator.
+  [[nodiscard]] static RunningStats from_moments(std::size_t count,
+                                                double mean, double m2,
+                                                double min,
+                                                double max) noexcept {
+    RunningStats s;
+    s.n_ = count;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.

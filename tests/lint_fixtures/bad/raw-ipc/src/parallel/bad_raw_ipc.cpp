@@ -1,0 +1,56 @@
+// Fixture: naked OS IPC primitives outside src/parallel/transport/.
+// Process boundaries must go through the Transport abstraction; ad-hoc
+// mmap/socket/fork plumbing bypasses the versioned wire format, abort
+// propagation, and congestion accounting.
+#include <cstddef>
+
+extern "C" {
+void* mmap(void*, unsigned long, int, int, int, long);
+int munmap(void*, unsigned long);
+int shm_open(const char*, int, unsigned int);
+int socket(int, int, int);
+int socketpair(int, int, int, int*);
+int fork();
+int waitpid(int, int*, int);
+long read(int, void*, unsigned long);
+long write(int, const void*, unsigned long);
+}
+
+namespace fixture {
+
+void* map_shared_segment(std::size_t bytes) {
+  return mmap(nullptr, bytes, 0, 0, -1, 0);  // finding
+}
+
+void unmap_segment(void* p, std::size_t bytes) {
+  munmap(p, bytes);  // finding
+}
+
+int open_segment(const char* name) {
+  return shm_open(name, 0, 0600);  // finding
+}
+
+int make_socket() {
+  return socket(1, 1, 0);  // finding
+}
+
+int make_pair(int* fds) {
+  return socketpair(1, 1, 0, fds);  // finding
+}
+
+int spawn_and_reap() {
+  const int pid = fork();  // finding
+  int status = 0;
+  waitpid(pid, &status, 0);  // finding
+  return status;
+}
+
+long drain_fd(int fd, void* buf, unsigned long n) {
+  return ::read(fd, buf, n);  // finding
+}
+
+long feed_fd(int fd, const void* buf, unsigned long n) {
+  return ::write(fd, buf, n);  // finding
+}
+
+}  // namespace fixture

@@ -26,6 +26,7 @@ BAD_CASES = {
     "pointer-hash": ("pointer-hash", 2),
     "unordered-iteration": ("unordered-iteration", 2),
     "naked-mutex": ("naked-mutex", 4),
+    "raw-ipc": ("raw-ipc", 9),
     "bad-suppression": ("bad-suppression", 2),
 }
 

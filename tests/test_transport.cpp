@@ -1,0 +1,272 @@
+// Transport-layer tests: the versioned wire codec (round-trip, determinism,
+// partial-buffer and corruption behavior), the core/serialization Message
+// seam, process-world smoke runs over both multi-process fabrics, and
+// kill-a-worker abort propagation (a SIGKILLed worker must fail the world
+// instead of hanging it).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "parallel/transport/process_world.hpp"
+#include "parallel/transport/wire.hpp"
+#include "util/rng.hpp"
+
+namespace mwr::parallel::transport {
+namespace {
+
+// --- wire codec ------------------------------------------------------------
+
+TEST(WireCodec, MessageFrameRoundTrips) {
+  const WireFrame frame =
+      WireFrame::message(3, 7, 42, {1.5, -0.25, 1e300, 0.0}, /*tracked=*/true);
+  std::vector<std::uint8_t> bytes;
+  encode_frame(frame, bytes);
+  EXPECT_EQ(bytes.size(), encoded_size(frame));
+
+  WireFrame decoded;
+  const std::size_t used = decode_frame(bytes.data(), bytes.size(), decoded);
+  EXPECT_EQ(used, bytes.size());
+  EXPECT_EQ(decoded, frame);
+}
+
+TEST(WireCodec, ControlFramesRoundTrip) {
+  for (const FrameKind kind :
+       {FrameKind::kHello, FrameKind::kBarrierMarker, FrameKind::kCycleMax,
+        FrameKind::kShutdown}) {
+    const WireFrame frame = WireFrame::control(kind, 0xdeadbeefcafe1234ull);
+    std::vector<std::uint8_t> bytes;
+    encode_frame(frame, bytes);
+    WireFrame decoded;
+    ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), decoded), bytes.size());
+    EXPECT_EQ(decoded, frame);
+  }
+}
+
+TEST(WireCodec, EncodingAppendsWithoutDisturbingPriorBytes) {
+  const WireFrame a = WireFrame::message(0, 1, 5, {2.0}, false);
+  const WireFrame b = WireFrame::control(FrameKind::kBarrierMarker, 9);
+  std::vector<std::uint8_t> stream;
+  encode_frame(a, stream);
+  const std::size_t split = stream.size();
+  encode_frame(b, stream);
+
+  WireFrame first, second;
+  const std::size_t used_a = decode_frame(stream.data(), stream.size(), first);
+  EXPECT_EQ(used_a, split);
+  const std::size_t used_b =
+      decode_frame(stream.data() + used_a, stream.size() - used_a, second);
+  EXPECT_EQ(used_a + used_b, stream.size());
+  EXPECT_EQ(first, a);
+  EXPECT_EQ(second, b);
+}
+
+TEST(WireCodec, PartialBufferConsumesNothing) {
+  const WireFrame frame = WireFrame::message(1, 2, 3, {4.0, 5.0}, true);
+  std::vector<std::uint8_t> bytes;
+  encode_frame(frame, bytes);
+  WireFrame decoded;
+  // Every strict prefix is "incomplete", never an error, never progress.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_EQ(decode_frame(bytes.data(), len, decoded), 0u) << len;
+  }
+}
+
+TEST(WireCodec, CorruptMagicThrows) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(WireFrame::control(FrameKind::kShutdown, 0), bytes);
+  bytes[4] ^= 0xff;  // first magic byte, after the u32 length prefix
+  WireFrame decoded;
+  EXPECT_THROW(decode_frame(bytes.data(), bytes.size(), decoded),
+               WireFormatError);
+}
+
+TEST(WireCodec, VersionMismatchThrows) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(WireFrame::control(FrameKind::kShutdown, 0), bytes);
+  bytes[8] ^= 0xff;  // low byte of the u16 version field
+  WireFrame decoded;
+  EXPECT_THROW(decode_frame(bytes.data(), bytes.size(), decoded),
+               WireFormatError);
+}
+
+TEST(WireCodec, GeometryFingerprintSeparatesWorldShapes) {
+  const auto fp = geometry_fingerprint(1024, 4);
+  EXPECT_NE(fp, geometry_fingerprint(1024, 8));
+  EXPECT_NE(fp, geometry_fingerprint(2048, 4));
+  EXPECT_EQ(fp, geometry_fingerprint(1024, 4));
+}
+
+// --- core/serialization Message seam ---------------------------------------
+
+TEST(MessageSerialization, RoundTripsEnvelopeAndPayload) {
+  Message message;
+  message.source = 12;
+  message.tag = 101;
+  message.payload = PayloadVec({0.5, -3.25, 7.0});
+
+  const auto bytes = core::serialize_message(message, /*dest_rank=*/99,
+                                             /*tracked=*/true);
+  int dest = -1;
+  bool tracked = false;
+  const Message back =
+      core::deserialize_message(bytes.data(), bytes.size(), &dest, &tracked);
+  EXPECT_EQ(back.source, 12);
+  EXPECT_EQ(back.tag, 101);
+  EXPECT_EQ(back.payload.to_vector(), message.payload.to_vector());
+  EXPECT_EQ(dest, 99);
+  EXPECT_TRUE(tracked);
+}
+
+// Same seed => identical byte streams.  The codec is a pure function of the
+// message, so two runs that draw the same random messages must serialize
+// them to the very same bytes — the property the cross-backend bit-identity
+// pins rely on.
+TEST(MessageSerialization, SameSeedYieldsIdenticalByteStreams) {
+  const auto stream_for = [](std::uint64_t seed) {
+    util::RngStream rng(seed);
+    std::vector<std::uint8_t> bytes;
+    for (int i = 0; i < 64; ++i) {
+      Message message;
+      message.source = static_cast<int>(rng.uniform_int(0, 511));
+      message.tag = static_cast<int>(rng.uniform_int(0, 63));
+      std::vector<double> payload(
+          static_cast<std::size_t>(rng.uniform_int(0, 8)));
+      for (double& x : payload) x = rng.uniform();
+      message.payload = PayloadVec(std::move(payload));
+      const auto frame = core::serialize_message(
+          message, static_cast<int>(rng.uniform_int(0, 511)),
+          rng.bernoulli(0.5));
+      bytes.insert(bytes.end(), frame.begin(), frame.end());
+    }
+    return bytes;
+  };
+  EXPECT_EQ(stream_for(1234), stream_for(1234));
+  EXPECT_NE(stream_for(1234), stream_for(1235));
+}
+
+TEST(MessageSerialization, RejectsTruncatedAndNonMessageFrames) {
+  Message message;
+  message.payload = PayloadVec({1.0});
+  const auto bytes = core::serialize_message(message, 0, false);
+  EXPECT_THROW(
+      (void)core::deserialize_message(bytes.data(), bytes.size() - 1),
+      std::runtime_error);
+
+  std::vector<std::uint8_t> control;
+  encode_frame(WireFrame::control(FrameKind::kBarrierMarker, 1), control);
+  EXPECT_THROW(
+      (void)core::deserialize_message(control.data(), control.size()),
+      std::runtime_error);
+}
+
+// --- process worlds --------------------------------------------------------
+
+// Every rank sends its rank to the next rank around the world ring (always
+// crossing the process boundary for ranks at block edges), then allreduces
+// a one-hot; each rank also stamps its shared rank_state slot.
+std::vector<double> ring_smoke_body(CommWorld& world,
+                                    const WorldLayout& layout,
+                                    std::uint32_t* rank_state) {
+  const int n = static_cast<int>(layout.global_size);
+  double received_sum = 0.0;
+  world.run([&](Comm& comm) {
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    comm.send(next, /*tag=*/7, {static_cast<double>(comm.rank())});
+    const Message m = comm.recv(prev, 7);
+    rank_state[comm.rank()] = static_cast<std::uint32_t>(m.payload[0]);
+
+    std::vector<double> one(1, 1.0);
+    const auto total = comm.allreduce_sum(std::move(one));
+    if (comm.rank() == static_cast<int>(layout.local_begin())) {
+      received_sum = total.at(0);
+    }
+    comm.barrier();
+  });
+  return {received_sum};
+}
+
+class ProcessWorldSmoke : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(ProcessWorldSmoke, RingExchangeAndSharedState) {
+  ProcessWorldConfig config;
+  config.global_ranks = 10;  // uneven blocks: 4 + 3 + 3
+  config.processes = 3;
+  config.kind = GetParam();
+  config.timeout_seconds = 60.0;
+
+  const auto outcome = run_process_world(config, ring_smoke_body);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_EQ(outcome.values.size(), 3u);
+  for (const auto& values : outcome.values) {
+    ASSERT_EQ(values.size(), 1u);
+    EXPECT_DOUBLE_EQ(values[0], 10.0);  // allreduce of one-hot ones
+  }
+  ASSERT_EQ(outcome.rank_state.size(), 10u);
+  for (std::uint32_t rank = 0; rank < 10; ++rank) {
+    EXPECT_EQ(outcome.rank_state[rank], (rank + 10 - 1) % 10) << rank;
+  }
+}
+
+TEST_P(ProcessWorldSmoke, KilledWorkerFailsTheWorldInsteadOfHanging) {
+  ProcessWorldConfig config;
+  config.global_ranks = 8;
+  config.processes = 2;
+  config.kind = GetParam();
+  // Backstop only; abort propagation must beat it by a wide margin.
+  config.timeout_seconds = 60.0;
+
+  const auto outcome = run_process_world(
+      config, [](CommWorld& world, const WorldLayout& layout,
+                 std::uint32_t* /*rank_state*/) -> std::vector<double> {
+        world.run([&](Comm& comm) {
+          comm.barrier();  // everyone reaches the same point first
+          if (layout.process_index == 1 &&
+              comm.rank() == static_cast<int>(layout.local_begin())) {
+            std::raise(SIGKILL);  // simulate a crashed worker process
+          }
+          // Survivors block on traffic only the dead process could send;
+          // only abort propagation can release them.
+          comm.barrier();
+          (void)comm.allreduce_sum({1.0});
+        });
+        return {1.0};
+      });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, ProcessWorldSmoke,
+                         ::testing::Values(TransportKind::kShmRing,
+                                           TransportKind::kUds),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ProcessWorld, RejectsInProcessKind) {
+  ProcessWorldConfig config;
+  config.kind = TransportKind::kInProcess;
+  EXPECT_THROW(run_process_world(config,
+                                 [](CommWorld&, const WorldLayout&,
+                                    std::uint32_t*) {
+                                   return std::vector<double>{};
+                                 }),
+               TransportError);
+}
+
+TEST(TransportKindParsing, AcceptsAliasesAndRejectsGarbage) {
+  EXPECT_EQ(parse_transport_kind("inproc"), TransportKind::kInProcess);
+  EXPECT_EQ(parse_transport_kind("in-process"), TransportKind::kInProcess);
+  EXPECT_EQ(parse_transport_kind("shm"), TransportKind::kShmRing);
+  EXPECT_EQ(parse_transport_kind("shm-ring"), TransportKind::kShmRing);
+  EXPECT_EQ(parse_transport_kind("uds"), TransportKind::kUds);
+  EXPECT_EQ(parse_transport_kind("socket"), TransportKind::kUds);
+  EXPECT_THROW((void)parse_transport_kind("carrier-pigeon"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mwr::parallel::transport

@@ -22,13 +22,22 @@ banned there:
                           variable declared in the same file — iteration
                           order is load-factor and libstdc++ dependent
 
-Everywhere under src/ (except the wrapper header itself):
+Everywhere under src/ (minus each rule's own whitelist):
 
   naked-mutex             std::mutex / lock_guard / unique_lock /
                           scoped_lock / condition_variable — use the
                           annotated util::Mutex / util::MutexLock /
                           util::CondVar wrappers (src/util/sync.hpp) so
                           Clang thread-safety analysis sees every lock
+  raw-ipc                 naked OS IPC primitives (mmap, shm_open, futex,
+                          socket/bind/connect, fork/waitpid, ...) outside
+                          src/parallel/transport/ — every process boundary
+                          must go through the Transport abstraction so the
+                          wire format, abort propagation, and congestion
+                          accounting stay in one place
+
+Whitelist entries ending in "/" exempt a whole directory subtree; other
+entries exempt exactly one file.
 
 Suppressions
 ------------
@@ -56,8 +65,6 @@ from pathlib import Path
 
 BIT_IDENTITY_DOMAINS = ("src/core", "src/apr", "src/costmodel", "src/datasets")
 SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx", ".hh"}
-# The annotated wrappers are the one place allowed to touch std primitives.
-NAKED_MUTEX_WHITELIST = ("src/util/sync.hpp",)
 
 SUPPRESS_RE = re.compile(
     r"//\s*mwr-lint:\s*allow\(([a-z-]+)\)(?:\s+reason=(\S.*))?"
@@ -65,11 +72,20 @@ SUPPRESS_RE = re.compile(
 
 
 class Rule:
-    def __init__(self, name, message, patterns, bit_identity_only):
+    def __init__(self, name, message, patterns, bit_identity_only,
+                 whitelist=()):
         self.name = name
         self.message = message
         self.patterns = [re.compile(p) for p in patterns]
         self.bit_identity_only = bit_identity_only
+        # Paths exempt from this rule: "dir/" prefixes or exact files.
+        self.whitelist = tuple(whitelist)
+
+    def whitelists(self, rel):
+        return any(
+            rel.startswith(entry) if entry.endswith("/") else rel == entry
+            for entry in self.whitelist
+        )
 
 
 RULES = [
@@ -124,6 +140,47 @@ RULES = [
             r"std\s*::\s*condition_variable(?:_any)?\b",
         ],
         bit_identity_only=False,
+        # The annotated wrappers are the one place allowed to touch std
+        # primitives.
+        whitelist=("src/util/sync.hpp",),
+    ),
+    Rule(
+        "raw-ipc",
+        "naked OS IPC/process primitive outside the transport layer; route "
+        "process boundaries through parallel::transport (Transport / "
+        "run_process_world) so wire format, abort propagation, and "
+        "congestion accounting stay centralized",
+        [
+            r"\bmmap\s*\(",
+            r"\bmunmap\s*\(",
+            r"\bshm_open\s*\(",
+            r"\bshm_unlink\s*\(",
+            r"\bmemfd_create\s*\(",
+            r"\bftruncate\s*\(",
+            r"\bsocket\s*\(",
+            r"\bsocketpair\s*\(",
+            r"\bbind\s*\(",
+            r"\blisten\s*\(",
+            r"\baccept\s*\(",
+            r"\bconnect\s*\(",
+            r"\bsendmsg\s*\(",
+            r"\brecvmsg\s*\(",
+            # fd read/write only when explicitly global-qualified; a bare
+            # read(/write( would drown in method-call false positives.
+            r"::\s*read\s*\(",
+            r"::\s*write\s*\(",
+            r"\bsendto\s*\(",
+            r"\brecvfrom\s*\(",
+            r"\bSYS_futex\b",
+            r"\bfutex\s*\(",
+            r"\bv?fork\s*\(",
+            r"\bwaitpid\s*\(",
+            r"\bkill\s*\(",
+            r"\b_exit\s*\(",
+        ],
+        bit_identity_only=False,
+        # The fabric itself: rings, sockets, and the fork-based launcher.
+        whitelist=("src/parallel/transport/",),
     ),
 ]
 RULE_NAMES = {rule.name for rule in RULES} | {"unordered-iteration"}
@@ -264,7 +321,7 @@ def collect_suppressions(raw_lines, rel, findings):
     return allowed
 
 
-def lint_file(path, rel, in_bit_identity, whitelisted):
+def lint_file(path, rel, in_bit_identity):
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.splitlines()
     findings = []
@@ -276,7 +333,7 @@ def lint_file(path, rel, in_bit_identity, whitelisted):
     for rule in RULES:
         if rule.bit_identity_only and not in_bit_identity:
             continue
-        if rule.name == "naked-mutex" and whitelisted:
+        if rule.whitelists(rel):
             continue
         for lineno, line in enumerate(masked_lines, start=1):
             for pat in rule.patterns:
@@ -366,8 +423,7 @@ def main(argv=None):
         in_bit_identity = any(
             rel == d or rel.startswith(d + "/") for d in BIT_IDENTITY_DOMAINS
         )
-        whitelisted = rel in NAKED_MUTEX_WHITELIST
-        findings, used = lint_file(path, rel, in_bit_identity, whitelisted)
+        findings, used = lint_file(path, rel, in_bit_identity)
         all_findings.extend(findings)
         total_suppressions += used
         files_scanned += 1
