@@ -11,17 +11,31 @@
 //                   (k = 2^14, n = 64 agents): per-agent linear scans vs
 //                   the sampler-backed StandardMwu::sample.
 //
+// Plus one row per SoA weight kernel (DESIGN.md §12), measuring the scalar
+// implementation against the runtime-dispatched one over the same k-element
+// arrays — on a non-AVX2 machine the two coincide and the row reports ~1x:
+//
+//   kernel_update       — pow_update: the sparse bandit reward pass.
+//   kernel_normalize    — fenwick_rebuild: the fused renormalize + tree
+//                         reconstruction + total fold.
+//   kernel_materialize  — materialize_affine: probabilities from weights.
+//
 // Results are emitted both as a human-readable table and as machine-
 // readable JSON (--json, default BENCH_hot_paths.json) with the fixed
-// schema "mwr-bench-hot-paths-v1"; CI's bench-smoke job gates on that
+// schema "mwr-bench-hot-paths-v2"; CI's bench-smoke job gates on that
 // file via .github/check_bench.py (speedup floors + absolute-regression
-// bound against the committed baseline).
+// bound against the committed baseline).  --repeat N runs every section N
+// times and reports the median of each timing, squeezing scheduler noise
+// out of the committed baselines.
 //
 // Both sides of every comparison compute the same values — each section
 // asserts result equivalence before timing is trusted, and accumulator
 // sums are folded into the JSON so the optimizer cannot delete the loops.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -32,6 +46,7 @@
 #include "datasets/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/fenwick_sampler.hpp"
+#include "util/simd/weight_kernels.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -48,6 +63,41 @@ struct Section {
     return after_ns > 0.0 ? before_ns / after_ns : 0.0;
   }
 };
+
+/// Runs `body` `repeat` times and reports the median of each timing.  The
+/// checksum must agree across repeats (same seeds, same arithmetic) — any
+/// disagreement means a section is nondeterministic and its numbers are
+/// meaningless, so that is fatal.
+template <typename F>
+Section median_of(std::size_t repeat, F&& body) {
+  std::vector<Section> runs;
+  runs.reserve(repeat);
+  for (std::size_t i = 0; i < repeat; ++i) runs.push_back(body());
+  for (const Section& s : runs) {
+    if (s.checksum != runs.front().checksum) {
+      std::cerr << "FATAL: checksum varies across --repeat runs\n";
+      std::exit(1);
+    }
+  }
+  const auto median = [&](auto field) {
+    std::vector<double> v;
+    v.reserve(repeat);
+    for (const Section& s : runs) v.push_back(field(s));
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  Section out;
+  out.before_ns = median([](const Section& s) { return s.before_ns; });
+  out.after_ns = median([](const Section& s) { return s.after_ns; });
+  out.checksum = runs.front().checksum;
+  return out;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
 
 // --- sampler: one weighted draw from k options --------------------------
 
@@ -199,10 +249,132 @@ Section bench_table2_cycle(std::size_t k, std::size_t agents,
   return out;
 }
 
+// --- per-kernel rows: scalar implementation vs runtime dispatch ---------
+
+namespace simd = util::simd;
+
+struct KernelTables {
+  simd::WeightKernels scalar;
+  simd::WeightKernels dispatched;
+};
+
+KernelTables kernel_tables() {
+  // Restore the environment-selected mode afterwards, so running the bench
+  // under MWR_FORCE_SCALAR=1 really measures scalar-vs-scalar (~1x rows).
+  const char* env = std::getenv("MWR_FORCE_SCALAR");
+  const bool env_forced = env != nullptr && env[0] != '\0' &&
+                          !(env[0] == '0' && env[1] == '\0');
+  simd::force_scalar_for_testing(true);
+  const simd::WeightKernels scalar = simd::active();
+  simd::force_scalar_for_testing(env_forced);
+  const simd::WeightKernels dispatched = simd::active();
+  return {scalar, dispatched};
+}
+
+std::vector<double> kernel_weights(std::size_t k, std::uint64_t seed) {
+  util::RngStream init(seed);
+  std::vector<double> weights(k);
+  for (auto& w : weights) w = 0.25 + init.uniform();
+  return weights;
+}
+
+// pow_update over k weights with the bandit's sparse exponent shape
+// (~64 touched arms).  Alternating base g and 1/g keeps magnitudes bounded
+// across iterations without a per-iteration reset copy.
+Section bench_kernel_update(std::size_t k, std::size_t iters,
+                            std::uint64_t seed) {
+  std::vector<double> exps(k, 0.0);
+  util::RngStream pick(seed ^ 0x5555);
+  for (int j = 0; j < 64; ++j) {
+    exps[static_cast<std::size_t>(pick.uniform() * static_cast<double>(k))] =
+        1.0 + static_cast<double>(j % 3);
+  }
+  const KernelTables tables = kernel_tables();
+  const double growth = 1.05;
+  const double shrink = 1.0 / growth;
+  const auto side = [&](const simd::WeightKernels& kernels, double& timing) {
+    std::vector<double> w = kernel_weights(k, seed);
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      kernels.pow_update(w.data(), exps.data(), k, i % 2 ? shrink : growth);
+    }
+    timing = timer.elapsed_seconds() * 1e9 / static_cast<double>(iters);
+    return double_bits(simd::sum_seq(w.data(), k));
+  };
+  Section out;
+  const std::uint64_t before = side(tables.scalar, out.before_ns);
+  const std::uint64_t after = side(tables.dispatched, out.after_ns);
+  if (before != after) {
+    std::cerr << "FATAL: kernel_update diverged across dispatch\n";
+    std::exit(1);
+  }
+  out.checksum = before;
+  return out;
+}
+
+// fenwick_rebuild: the fused divide + tree build + total fold.  Divisors
+// alternate 2.0 / 0.5 — exact in binary floating point, so the weights
+// return to their initial values every other iteration.
+Section bench_kernel_normalize(std::size_t k, std::size_t iters,
+                               std::uint64_t seed) {
+  const KernelTables tables = kernel_tables();
+  const auto side = [&](const simd::WeightKernels& kernels, double& timing) {
+    std::vector<double> w = kernel_weights(k, seed);
+    std::vector<double> tree(k + 1, 0.0);
+    double acc = 0.0;
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      acc += kernels.fenwick_rebuild(w.data(), tree.data(), k,
+                                     i % 2 ? 0.5 : 2.0);
+    }
+    timing = timer.elapsed_seconds() * 1e9 / static_cast<double>(iters);
+    return double_bits(acc) ^ double_bits(tree[k]);
+  };
+  Section out;
+  const std::uint64_t before = side(tables.scalar, out.before_ns);
+  const std::uint64_t after = side(tables.dispatched, out.after_ns);
+  if (before != after) {
+    std::cerr << "FATAL: kernel_normalize diverged across dispatch\n";
+    std::exit(1);
+  }
+  out.checksum = before;
+  return out;
+}
+
+// materialize_affine: the probabilities() pass (dst = w / total).
+Section bench_kernel_materialize(std::size_t k, std::size_t iters,
+                                 std::uint64_t seed) {
+  const KernelTables tables = kernel_tables();
+  const auto side = [&](const simd::WeightKernels& kernels, double& timing) {
+    const std::vector<double> w = kernel_weights(k, seed);
+    const double total = simd::sum_seq(w.data(), k);
+    std::vector<double> dst(k, 0.0);
+    double acc = 0.0;
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      kernels.materialize_affine(dst.data(), w.data(), k, 1.0, total, 0.0);
+      acc += dst[i % k];
+    }
+    timing = timer.elapsed_seconds() * 1e9 / static_cast<double>(iters);
+    return double_bits(acc);
+  };
+  Section out;
+  const std::uint64_t before = side(tables.scalar, out.before_ns);
+  const std::uint64_t after = side(tables.dispatched, out.after_ns);
+  if (before != after) {
+    std::cerr << "FATAL: kernel_materialize diverged across dispatch\n";
+    std::exit(1);
+  }
+  out.checksum = before;
+  return out;
+}
+
 void emit_json(const std::string& path, std::size_t k, std::size_t agents,
                std::size_t pool_size, std::size_t patch_size,
-               const Section& sampler, const Section& oracle,
-               const Section& cycle) {
+               std::size_t repeat, const Section& sampler,
+               const Section& oracle, const Section& cycle,
+               const Section& kernel_update, const Section& kernel_normalize,
+               const Section& kernel_materialize) {
   const auto section = [](std::ostream& os, const char* name,
                           const Section& s, bool last) {
     char buf[256];
@@ -217,13 +389,16 @@ void emit_json(const std::string& path, std::size_t k, std::size_t agents,
   };
   std::ofstream os(path);
   os << "{\n"
-     << "  \"schema\": \"mwr-bench-hot-paths-v1\",\n"
+     << "  \"schema\": \"mwr-bench-hot-paths-v2\",\n"
      << "  \"params\": {\"options\": " << k << ", \"agents\": " << agents
      << ", \"pool\": " << pool_size << ", \"patch\": " << patch_size
-     << "},\n";
+     << ", \"repeat\": " << repeat << "},\n";
   section(os, "sampler", sampler, false);
   section(os, "oracle", oracle, false);
-  section(os, "table2_cycle", cycle, true);
+  section(os, "table2_cycle", cycle, false);
+  section(os, "kernel_update", kernel_update, false);
+  section(os, "kernel_normalize", kernel_normalize, false);
+  section(os, "kernel_materialize", kernel_materialize, true);
   os << "}\n";
 }
 
@@ -240,6 +415,8 @@ int main(int argc, char** argv) {
   cli.add_int("pool", 512, "precomputed pool size for the oracle bench");
   cli.add_int("patch", 32, "mutations per probed patch");
   cli.add_int("probes", 2000, "oracle probes to time");
+  cli.add_int("kernel-iters", 2000, "iterations per weight-kernel row");
+  cli.add_int("repeat", 1, "section repetitions; the median is reported");
   cli.add_string("json", "BENCH_hot_paths.json",
                  "machine-readable output path (gated by check_bench.py)");
   if (!cli.parse(argc, argv)) return 0;
@@ -249,17 +426,33 @@ int main(int argc, char** argv) {
   const auto pool_size = static_cast<std::size_t>(cli.get_int("pool"));
   const auto patch_size = static_cast<std::size_t>(cli.get_int("patch"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto kernel_iters =
+      static_cast<std::size_t>(cli.get_int("kernel-iters"));
+  const auto repeat =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("repeat")));
 
-  const Section sampler = bench_sampler(
-      k, static_cast<std::size_t>(cli.get_int("draws")), seed);
-  const Section oracle = bench_oracle(
-      pool_size, patch_size, static_cast<std::size_t>(cli.get_int("probes")),
-      seed);
-  const Section cycle = bench_table2_cycle(
-      k, agents, static_cast<std::size_t>(cli.get_int("cycles")), seed);
+  const Section sampler = median_of(repeat, [&] {
+    return bench_sampler(k, static_cast<std::size_t>(cli.get_int("draws")),
+                         seed);
+  });
+  const Section oracle = median_of(repeat, [&] {
+    return bench_oracle(pool_size, patch_size,
+                        static_cast<std::size_t>(cli.get_int("probes")), seed);
+  });
+  const Section cycle = median_of(repeat, [&] {
+    return bench_table2_cycle(
+        k, agents, static_cast<std::size_t>(cli.get_int("cycles")), seed);
+  });
+  const Section kernel_update = median_of(
+      repeat, [&] { return bench_kernel_update(k, kernel_iters, seed); });
+  const Section kernel_normalize = median_of(
+      repeat, [&] { return bench_kernel_normalize(k, kernel_iters, seed); });
+  const Section kernel_materialize = median_of(
+      repeat, [&] { return bench_kernel_materialize(k, kernel_iters, seed); });
 
   util::Table table("Hot-path before/after (k=" + std::to_string(k) +
-                    ", n=" + std::to_string(agents) + ")");
+                    ", n=" + std::to_string(agents) + ", dispatch=" +
+                    util::simd::dispatch_name() + ")");
   table.set_header({"path", "before ns/op", "after ns/op", "speedup"});
   const auto row = [&](const char* name, const Section& s) {
     table.add_row({name, util::fmt_fixed(s.before_ns, 1),
@@ -269,10 +462,14 @@ int main(int argc, char** argv) {
   row("weighted draw (linear -> Fenwick)", sampler);
   row("phase-2 probe (uncached -> cached)", oracle);
   row("Standard-MWU cycle", cycle);
+  row("kernel pow_update (scalar -> simd)", kernel_update);
+  row("kernel fenwick_rebuild (scalar -> simd)", kernel_normalize);
+  row("kernel materialize (scalar -> simd)", kernel_materialize);
   table.emit(std::cout, cli.get_string("csv"));
 
-  emit_json(cli.get_string("json"), k, agents, pool_size, patch_size,
-            sampler, oracle, cycle);
+  emit_json(cli.get_string("json"), k, agents, pool_size, patch_size, repeat,
+            sampler, oracle, cycle, kernel_update, kernel_normalize,
+            kernel_materialize);
   std::cout << "wrote " << cli.get_string("json") << "\n";
   return 0;
 }

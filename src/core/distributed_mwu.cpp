@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/simd/weight_kernels.hpp"
+
 namespace mwr::core {
 
 DistributedMwu::DistributedMwu(const MwuConfig& config) : config_(config) {
@@ -78,11 +80,13 @@ void DistributedMwu::update(std::span<const std::size_t> options,
 }
 
 std::vector<double> DistributedMwu::probabilities() const {
+  // Census materialization: p[i] = popularity[i] / population, through the
+  // dispatched widening-convert + divide kernel (population < 2^31, so the
+  // conversion is exact on both paths).
   std::vector<double> p(popularity_.size());
-  const auto pop = static_cast<double>(choices_.size());
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    p[i] = static_cast<double>(popularity_[i]) / pop;
-  }
+  util::simd::active().materialize_counts(p.data(), popularity_.data(),
+                                          popularity_.size(),
+                                          static_cast<double>(choices_.size()));
   return p;
 }
 

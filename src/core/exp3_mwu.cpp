@@ -1,8 +1,9 @@
 #include "core/exp3_mwu.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
+
+#include "util/simd/weight_kernels.hpp"
 
 namespace mwr::core {
 
@@ -19,22 +20,33 @@ Exp3Mwu::Exp3Mwu(const MwuConfig& config) : config_(config) {
 void Exp3Mwu::init() {
   weights_.assign(config_.num_options, 1.0);
   total_weight_ = static_cast<double>(config_.num_options);
+  prob_scratch_.assign(config_.num_options, 0.0);
+  exp_scratch_.assign(config_.num_options, 0.0);
+}
+
+void Exp3Mwu::materialize_probabilities(std::vector<double>& p) const {
+  const double gamma = config_.exploration;
+  const double floor = gamma / static_cast<double>(weights_.size());
+  p.resize(weights_.size());
+  // p[i] = (1 - gamma) * w[i] / total + floor, via the dispatched kernel
+  // (same operation order as the historical scalar loop, no contraction).
+  util::simd::active().materialize_affine(p.data(), weights_.data(),
+                                          weights_.size(), 1.0 - gamma,
+                                          total_weight_, floor);
 }
 
 std::vector<double> Exp3Mwu::probabilities() const {
-  const double gamma = config_.exploration;
-  const double floor = gamma / static_cast<double>(weights_.size());
-  std::vector<double> p(weights_.size());
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    p[i] = (1.0 - gamma) * weights_[i] / total_weight_ + floor;
-  }
+  std::vector<double> p;
+  materialize_probabilities(p);
   return p;
 }
 
 std::vector<std::size_t> Exp3Mwu::sample(util::RngStream& rng) {
   // One O(k) sampler build amortized over the n agent draws, each O(log k)
-  // instead of the O(k) linear scan over the probability vector.
-  sampler_.rebuild(probabilities());
+  // instead of the O(k) linear scan over the probability vector.  The
+  // probabilities land in persistent scratch — no per-call allocation.
+  materialize_probabilities(prob_scratch_);
+  sampler_.rebuild(prob_scratch_);
   std::vector<std::size_t> probes(config_.num_agents);
   for (auto& option : probes) {
     option = sampler_.sample(rng);
@@ -47,27 +59,28 @@ void Exp3Mwu::update(std::span<const std::size_t> options,
                      util::RngStream& /*rng*/) {
   if (options.size() != rewards.size())
     throw std::invalid_argument("Exp3Mwu::update: size mismatch");
-  const auto p = probabilities();
+  materialize_probabilities(prob_scratch_);
   const double gamma = config_.exploration;
   const auto k = static_cast<double>(weights_.size());
 
-  // Importance-weighted exponential update, aggregated per option.  The
+  // Importance-weighted exponential update, aggregated per option into the
+  // persistent scratch (accumulated sparsely, cleared sparsely below).  The
   // exponent gamma * (r / p_i) / k is at most 1 because p_i >= gamma / k.
-  std::vector<double> exponents(weights_.size(), 0.0);
   for (std::size_t j = 0; j < options.size(); ++j) {
     if (rewards[j] > 0.0) {
-      exponents[options[j]] += gamma * (rewards[j] / p[options[j]]) / k;
+      exp_scratch_[options[j]] +=
+          gamma * (rewards[j] / prob_scratch_[options[j]]) / k;
     }
   }
-  double max_weight = 0.0;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    if (exponents[i] > 0.0) weights_[i] *= std::exp(exponents[i]);
-    max_weight = std::max(max_weight, weights_[i]);
-  }
-  total_weight_ = 0.0;
-  for (auto& w : weights_) {
-    w /= max_weight;
-    total_weight_ += w;
+  const auto& kernels = util::simd::active();
+  kernels.exp_update(weights_.data(), exp_scratch_.data(), weights_.size());
+  // Fused max + renormalize + total; the fold order is the reduction-order
+  // contract (util/simd/weight_kernels.hpp).
+  const double max_weight = kernels.max_reduce(weights_.data(), weights_.size());
+  total_weight_ = util::simd::normalize_sum(weights_.data(), weights_.size(),
+                                            max_weight);
+  for (std::size_t j = 0; j < options.size(); ++j) {
+    exp_scratch_[options[j]] = 0.0;
   }
 }
 
@@ -92,7 +105,8 @@ double Exp3Mwu::max_achievable_probability() const noexcept {
 }
 
 bool Exp3Mwu::converged() const {
-  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  const double max_w =
+      util::simd::active().max_reduce(weights_.data(), weights_.size());
   const double gamma = config_.exploration;
   const double p_max = (1.0 - gamma) * max_w / total_weight_ +
                        gamma / static_cast<double>(weights_.size());
@@ -100,8 +114,7 @@ bool Exp3Mwu::converged() const {
 }
 
 std::size_t Exp3Mwu::best_option() const {
-  return static_cast<std::size_t>(
-      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+  return util::simd::active().argmax(weights_.data(), weights_.size());
 }
 
 }  // namespace mwr::core

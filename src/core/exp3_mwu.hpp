@@ -48,12 +48,21 @@ class Exp3Mwu final : public MwuStrategy {
   void set_weights(std::vector<double> weights);
 
  private:
+  /// Materializes the exploration-floored probabilities into `p` (resized
+  /// to k) without allocating after the first call.
+  void materialize_probabilities(std::vector<double>& p) const;
+
   MwuConfig config_;
   std::vector<double> weights_;
   double total_weight_ = 0.0;
   /// Rebuilt from the exploration-floored probabilities at each sample()
   /// call; amortizes the build over the n per-agent draws.
   util::FenwickSampler sampler_;
+  /// Persistent per-cycle scratch: probability vector (sample + update) and
+  /// importance-weighted exponents (update, accumulated and cleared
+  /// sparsely).  Never reallocated after init().
+  std::vector<double> prob_scratch_;
+  std::vector<double> exp_scratch_;
 };
 
 }  // namespace mwr::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/slate_projection.hpp"
+#include "util/simd/weight_kernels.hpp"
 
 namespace mwr::core {
 
@@ -35,9 +36,11 @@ std::vector<double> SlateMwu::probabilities() const {
   const double gamma = config_.exploration;
   const double floor = gamma / static_cast<double>(weights_.size());
   std::vector<double> p(weights_.size());
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    p[i] = (1.0 - gamma) * weights_[i] / total_weight_ + floor;
-  }
+  // p[i] = (1 - gamma) * w[i] / total + floor, via the dispatched kernel
+  // (same operation order as the historical scalar loop, no contraction).
+  util::simd::active().materialize_affine(p.data(), weights_.data(),
+                                          weights_.size(), 1.0 - gamma,
+                                          total_weight_, floor);
   return p;
 }
 
@@ -69,16 +72,16 @@ void SlateMwu::update(std::span<const std::size_t> options,
   if (options.size() != rewards.size())
     throw std::invalid_argument("SlateMwu::update: size mismatch");
   const double growth = 1.0 + config_.learning_rate;
-  double max_weight = 0.0;
   for (std::size_t j = 0; j < options.size(); ++j) {
     if (rewards[j] > 0.0) weights_[options[j]] *= growth;
   }
-  for (double w : weights_) max_weight = std::max(max_weight, w);
-  total_weight_ = 0.0;
-  for (auto& w : weights_) {
-    w /= max_weight;
-    total_weight_ += w;
-  }
+  // Fused max + renormalize + total: the divide is the dispatched kernel's
+  // op-for-op twin of the historical loop, and the total keeps the strict
+  // left-to-right fold (reduction-order contract).
+  const auto& kernels = util::simd::active();
+  const double max_weight = kernels.max_reduce(weights_.data(), weights_.size());
+  total_weight_ = util::simd::normalize_sum(weights_.data(), weights_.size(),
+                                            max_weight);
 }
 
 void SlateMwu::set_weights(std::vector<double> weights) {
@@ -102,7 +105,8 @@ double SlateMwu::max_achievable_probability() const noexcept {
 }
 
 bool SlateMwu::converged() const {
-  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  const double max_w =
+      util::simd::active().max_reduce(weights_.data(), weights_.size());
   const double gamma = config_.exploration;
   const double p_max = (1.0 - gamma) * max_w / total_weight_ +
                        gamma / static_cast<double>(weights_.size());
@@ -110,8 +114,7 @@ bool SlateMwu::converged() const {
 }
 
 std::size_t SlateMwu::best_option() const {
-  return static_cast<std::size_t>(
-      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+  return util::simd::active().argmax(weights_.data(), weights_.size());
 }
 
 }  // namespace mwr::core

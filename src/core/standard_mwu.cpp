@@ -1,9 +1,10 @@
 #include "core/standard_mwu.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/simd/weight_kernels.hpp"
 
 namespace mwr::core {
 
@@ -18,9 +19,9 @@ StandardMwu::StandardMwu(const MwuConfig& config) : config_(config) {
 }
 
 void StandardMwu::init() {
-  weights_.assign(config_.num_options, 1.0);
-  total_weight_ = static_cast<double>(config_.num_options);
-  sampler_.rebuild(weights_);
+  const std::vector<double> uniform(config_.num_options, 1.0);
+  sampler_.rebuild(uniform);
+  counts_scratch_.assign(config_.num_options, 0.0);
 }
 
 std::vector<std::size_t> StandardMwu::sample(util::RngStream& rng) {
@@ -31,7 +32,7 @@ std::vector<std::size_t> StandardMwu::sample(util::RngStream& rng) {
     return assigned;
   }
   // O(log k) per draw instead of the O(k) linear scan; the sampler tracks
-  // weights_ exactly, so the draw distribution is unchanged.
+  // the weights exactly, so the draw distribution is unchanged.
   std::vector<std::size_t> assigned(config_.num_agents);
   for (auto& option : assigned) {
     option = sampler_.sample(rng);
@@ -44,47 +45,46 @@ void StandardMwu::update(std::span<const std::size_t> options,
                          util::RngStream& /*rng*/) {
   if (options.size() != rewards.size())
     throw std::invalid_argument("StandardMwu::update: size mismatch");
+  const auto& kernels = util::simd::active();
   if (config_.full_information) {
     // Classic penalty update on the full cost vector: w *= (1 - eta)^cost.
+    // The probe list may index options sparsely and repeatedly, so the
+    // update stays a scalar scatter; max + renormalize + tree rebuild run
+    // through the fused kernel pass.
     const double decay = 1.0 - config_.learning_rate;
-    double max_weight = 0.0;
+    const std::span<double> w = sampler_.mutable_weights();
     for (std::size_t j = 0; j < options.size(); ++j) {
       const double cost = 1.0 - rewards[j];
-      if (cost > 0.0) weights_[options[j]] *= std::pow(decay, cost);
+      if (cost > 0.0) w[options[j]] *= std::pow(decay, cost);
     }
-    for (const double w : weights_) max_weight = std::max(max_weight, w);
-    total_weight_ = 0.0;
-    for (auto& w : weights_) {
-      w /= max_weight;
-      total_weight_ += w;
-    }
-    sampler_.rebuild(weights_);
+    const double max_weight = kernels.max_reduce(w.data(), w.size());
+    sampler_.rebuild_in_place(max_weight);
     return;
   }
-  std::vector<double> counts(config_.num_options, 0.0);
+  // Bandit path: accumulate this cycle's rewards sparsely into the
+  // persistent scratch (same index order as the historical dense pass),
+  // apply, then clear only the touched entries — no O(k) memset per cycle.
   for (std::size_t j = 0; j < options.size(); ++j) {
-    counts[options[j]] += rewards[j];
+    counts_scratch_[options[j]] += rewards[j];
   }
-  apply_reward_counts(counts);
+  apply_reward_counts(counts_scratch_);
+  for (std::size_t j = 0; j < options.size(); ++j) {
+    counts_scratch_[options[j]] = 0.0;
+  }
 }
 
 void StandardMwu::apply_reward_counts(std::span<const double> counts) {
-  if (counts.size() != weights_.size())
+  const std::span<double> w = sampler_.mutable_weights();
+  if (counts.size() != w.size())
     throw std::invalid_argument("StandardMwu: counts width != k");
+  const auto& kernels = util::simd::active();
   const double growth = 1.0 + config_.learning_rate;
-  double max_weight = 0.0;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    if (counts[i] > 0.0) weights_[i] *= std::pow(growth, counts[i]);
-    max_weight = std::max(max_weight, weights_[i]);
-  }
+  kernels.pow_update(w.data(), counts.data(), w.size(), growth);
   // Renormalize by the maximum: ratios (hence probabilities) are preserved
-  // and the state stays in floating-point range indefinitely.
-  total_weight_ = 0.0;
-  for (auto& w : weights_) {
-    w /= max_weight;
-    total_weight_ += w;
-  }
-  sampler_.rebuild(weights_);
+  // and the state stays in floating-point range indefinitely.  The divide,
+  // total fold, and Fenwick reconstruction are one fused pass.
+  const double max_weight = kernels.max_reduce(w.data(), w.size());
+  sampler_.rebuild_in_place(max_weight);
 }
 
 void StandardMwu::set_weights(std::vector<double> weights) {
@@ -98,27 +98,28 @@ void StandardMwu::set_weights(std::vector<double> weights) {
   }
   if (total <= 0.0)
     throw std::invalid_argument("StandardMwu::set_weights: zero total");
-  weights_ = std::move(weights);
-  total_weight_ = total;
-  sampler_.rebuild(weights_);
+  sampler_.rebuild(weights);
 }
 
 std::vector<double> StandardMwu::probabilities() const {
-  std::vector<double> p(weights_.size());
-  for (std::size_t i = 0; i < p.size(); ++i) p[i] = weights_[i] / total_weight_;
+  const std::vector<double>& w = sampler_.raw_weights();
+  std::vector<double> p(w.size());
+  util::simd::active().materialize_affine(p.data(), w.data(), w.size(), 1.0,
+                                          sampler_.total(), 0.0);
   return p;
 }
 
 bool StandardMwu::converged() const {
-  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  const std::vector<double>& w = sampler_.raw_weights();
+  const double max_w = util::simd::active().max_reduce(w.data(), w.size());
   // Maximum possible probability is 1 (no exploration floor); the paper's
   // criterion is a 1e-5 tolerance relative to that maximum (§IV-C).
-  return max_w / total_weight_ >= 1.0 - config_.convergence_tol;
+  return max_w / sampler_.total() >= 1.0 - config_.convergence_tol;
 }
 
 std::size_t StandardMwu::best_option() const {
-  return static_cast<std::size_t>(
-      std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+  const std::vector<double>& w = sampler_.raw_weights();
+  return util::simd::active().argmax(w.data(), w.size());
 }
 
 }  // namespace mwr::core

@@ -42,8 +42,9 @@ class StandardMwu final : public MwuStrategy {
   [[nodiscard]] MwuKind kind() const override { return MwuKind::kStandard; }
 
   /// Raw (renormalized) weights — exposed for tests and the parallel driver.
+  /// The sampler owns the canonical SoA array; there is no duplicate copy.
   [[nodiscard]] const std::vector<double>& weights() const noexcept {
-    return weights_;
+    return sampler_.raw_weights();
   }
 
   /// Replaces the weight state (checkpoint restore).  Throws
@@ -57,12 +58,13 @@ class StandardMwu final : public MwuStrategy {
 
  private:
   MwuConfig config_;
-  std::vector<double> weights_;
-  double total_weight_ = 0.0;
-  /// O(log k) weight-proportional sampler over weights_, rebuilt after
-  /// every weight change (the O(k) rebuild rides along with the O(k)
-  /// renormalization those paths already perform).
+  /// Canonical weight storage AND the O(log k) weight-proportional sampler.
+  /// The fused rebuild_in_place() pass renormalizes and reconstructs the
+  /// tree in one sweep, so weights are touched once per cycle.
   util::FenwickSampler sampler_;
+  /// Persistent per-cycle reward-count scratch (bandit path): accumulated
+  /// sparsely, cleared sparsely, never reallocated after the first cycle.
+  std::vector<double> counts_scratch_;
 };
 
 }  // namespace mwr::core

@@ -125,6 +125,61 @@ void Comm::send_untracked(int destination, int tag, PayloadVec payload) {
                                            /*tracked=*/false));
 }
 
+void Comm::send_copy(int destination, int tag,
+                     std::span<const double> values) {
+  auto dst = static_cast<std::size_t>(destination);
+  if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
+  comm_metrics().messages_sent.add(1);
+  if (!world_->multiprocess()) {
+    world_->tracker_.record(dst);
+    world_->mailboxes_[dst].push(
+        Message{rank_, tag, PayloadVec(values, world_->arena_)});
+    return;
+  }
+  const WorldLayout& layout = world_->layout_;
+  const std::size_t owner =
+      WorldLayout::owner_of(layout.global_size, layout.processes, dst);
+  if (owner == layout.process_index) {
+    const std::size_t local = world_->local_index(destination);
+    world_->tracker_.record(local);
+    world_->mailboxes_[local].push(
+        Message{rank_, tag, PayloadVec(values, world_->arena_)});
+    return;
+  }
+  // The wire path marshals payloads into its own frame buffer, so arena
+  // backing buys nothing across the seam — copy into the frame directly.
+  world_->endpoint_->send(
+      owner, transport::WireFrame::message(
+                 rank_, destination, tag,
+                 std::vector<double>(values.begin(), values.end()),
+                 /*tracked=*/true));
+}
+
+void Comm::send_copy_untracked(int destination, int tag,
+                               std::span<const double> values) {
+  auto dst = static_cast<std::size_t>(destination);
+  if (dst >= world_->size()) throw std::out_of_range("send: bad destination");
+  comm_metrics().messages_sent_untracked.add(1);
+  if (!world_->multiprocess()) {
+    world_->mailboxes_[dst].push(
+        Message{rank_, tag, PayloadVec(values, world_->arena_)});
+    return;
+  }
+  const WorldLayout& layout = world_->layout_;
+  const std::size_t owner =
+      WorldLayout::owner_of(layout.global_size, layout.processes, dst);
+  if (owner == layout.process_index) {
+    world_->mailboxes_[world_->local_index(destination)].push(
+        Message{rank_, tag, PayloadVec(values, world_->arena_)});
+    return;
+  }
+  world_->endpoint_->send(
+      owner, transport::WireFrame::message(
+                 rank_, destination, tag,
+                 std::vector<double>(values.begin(), values.end()),
+                 /*tracked=*/false));
+}
+
 Message Comm::recv(int source, int tag) {
   // Flush-before-blocking discipline: anything this process buffered is
   // pushed into the fabric before this rank can block on a reply that may
@@ -162,6 +217,11 @@ void Comm::close_congestion_cycle() {
       static_cast<double>(world_->tracker_.current_max()));
   metrics.congestion_cycles.add(1);
   world_->tracker_.end_cycle();
+  // All of the cycle's messages are delivered and (in the common pattern)
+  // consumed; rewind the payload arena for the next cycle.  A payload still
+  // parked in a mailbox keeps the count nonzero and simply defers the
+  // rewind to a later close.
+  (void)world_->arena_->try_reset();
 }
 
 void Comm::barrier_close_cycle() {
@@ -180,8 +240,9 @@ void Comm::barrier_close_cycle() {
 
 std::vector<double> Comm::broadcast(int root, std::vector<double> payload) {
   if (rank_ == root) {
+    // One arena-backed copy per destination instead of one heap vector.
     for (int r = 0; r < size(); ++r) {
-      if (r != root) send(r, kTagBroadcast, payload);
+      if (r != root) send_copy(r, kTagBroadcast, payload);
     }
     return payload;
   }
@@ -221,7 +282,7 @@ std::vector<double> Comm::allreduce_sum(std::vector<double> payload) {
       throw std::invalid_argument("allreduce_sum: mismatched payload widths");
     for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += m.payload[i];
   }
-  for (int r = 1; r < size(); ++r) send(r, kTagAllreduce, sum);
+  for (int r = 1; r < size(); ++r) send_copy(r, kTagAllreduce, sum);
   return sum;
 }
 
@@ -247,6 +308,14 @@ std::vector<double> Comm::allreduce_tree_impl(std::vector<double> payload,
       send_untracked(destination, tag, std::move(data));
     }
   };
+  const auto emit_copy = [&](int destination, int tag,
+                             std::span<const double> data) {
+    if (tracked) {
+      send_copy(destination, tag, data);
+    } else {
+      send_copy_untracked(destination, tag, data);
+    }
+  };
   std::vector<double> sum = std::move(payload);
   for (int mask = 1; mask < n; mask <<= 1) {
     if (rank_ & mask) {
@@ -270,7 +339,9 @@ std::vector<double> Comm::allreduce_tree_impl(std::vector<double> payload,
     const int period = 2 * mask;
     if (rank_ % period == 0) {
       const int peer = rank_ + mask;
-      if (peer < n) emit(peer, kTagTreeBcast, sum);
+      // The holder keeps forwarding `sum` down the tree: arena copies, not
+      // per-destination vectors (the reduce phase above still moves).
+      if (peer < n) emit_copy(peer, kTagTreeBcast, sum);
     } else if (rank_ % period == mask) {
       sum = recv(rank_ - mask, kTagTreeBcast).payload;
     }
@@ -288,7 +359,8 @@ CommWorld::CommWorld(const WorldLayout& layout,
       endpoint_(endpoint),
       mailboxes_(layout.local_count()),
       barrier_(layout.local_count()),
-      tracker_(layout.local_count()) {
+      tracker_(layout.local_count()),
+      arena_(std::make_shared<PayloadArena>()) {
   if (layout_.global_size == 0)
     throw std::invalid_argument("CommWorld needs >= 1 rank");
   if (layout_.processes == 0 || layout_.process_index >= layout_.processes)
@@ -517,6 +589,9 @@ void CommWorld::exchange_cycle_close() noexcept {
         static_cast<double>(global_max));
     metrics.congestion_cycles.add(1);
     tracker_.end_cycle(global_max);
+    // Local arena payloads of the cycle are consumed by now in the common
+    // pattern; a straggler just defers the rewind (see close_congestion_cycle).
+    (void)arena_->try_reset();
     // Round 2: no process releases its ranks into the next cycle until
     // every process finished recording this one — otherwise an early
     // peer's next-cycle messages could leak into our still-open counters.

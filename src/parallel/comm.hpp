@@ -40,6 +40,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -131,6 +133,20 @@ class Comm {
   /// this for harness bookkeeping (replies, convergence snapshots) so the
   /// tracker measures only the algorithm's own communication pattern.
   void send_untracked(int destination, int tag, PayloadVec payload);
+
+  /// Fan-out send: copies `values` into the world's per-superstep payload
+  /// arena (DESIGN.md §12) instead of a per-destination heap vector.
+  /// Semantically identical to send() with a vector copy of `values` —
+  /// same congestion accounting, same delivery order — but the collectives
+  /// that send one payload to many destinations (broadcast, the allreduce
+  /// reply wave, the tree broadcast phase) stop paying one allocation per
+  /// destination.  Named distinctly (not an overload) because PayloadVec's
+  /// implicit vector conversion would make a span overload ambiguous.
+  void send_copy(int destination, int tag, std::span<const double> values);
+
+  /// send_copy() without congestion accounting.
+  void send_copy_untracked(int destination, int tag,
+                           std::span<const double> values);
 
   /// Blocking receive with optional source/tag filters.
   [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
@@ -239,6 +255,14 @@ class CommWorld {
     return tracker_;
   }
 
+  /// The per-superstep bump arena backing send_copy payloads.  Rewound at
+  /// cycle-close barriers once no payload references it; shared_ptr so
+  /// in-flight payloads keep the storage alive past world teardown.
+  [[nodiscard]] const std::shared_ptr<PayloadArena>& payload_arena()
+      const noexcept {
+    return arena_;
+  }
+
  private:
   friend class Comm;
   void run_thread_per_rank(const std::function<void(Comm&)>& body);
@@ -272,6 +296,7 @@ class CommWorld {
   std::vector<Mailbox> mailboxes_;
   CountingBarrier barrier_;
   CongestionTracker tracker_;
+  std::shared_ptr<PayloadArena> arena_;
 
   // Cross-process barrier/close bookkeeping, fed by the drain threads.
   mutable util::Mutex exchange_mutex_;

@@ -1,0 +1,78 @@
+// Per-superstep bump arena for message payloads (DESIGN.md §12).
+//
+// The PayloadVec small-buffer optimization removes per-message heap traffic
+// for payloads up to 4 doubles — but the collective fan-outs (broadcast,
+// the allreduce reply wave, the tree broadcast phase) copy one
+// heap-allocated vector per destination for anything larger.  This arena
+// replaces those allocations with a bump pointer: senders carve payload
+// storage out of reusable chunks, receivers release it when the PayloadVec
+// dies, and the communicator rewinds the arena at the cycle barrier once
+// nothing is outstanding.
+//
+// Lifetime safety: arena-backed PayloadVecs hold a shared_ptr to the arena,
+// so payload storage can never dangle even if the CommWorld (the usual
+// owner) is torn down first; and try_reset() refuses to rewind while any
+// allocation is outstanding, so a payload that survives past the barrier
+// (e.g. parked in a mailbox across cycles) simply defers the reset to a
+// later cycle close instead of being clobbered.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mwr::parallel {
+
+class PayloadArena {
+ public:
+  /// Default chunk size: 4096 doubles (32 KiB) — hundreds of typical
+  /// collective payloads per chunk before a new one is carved.
+  static constexpr std::size_t kDefaultChunkDoubles = std::size_t{1} << 12;
+
+  explicit PayloadArena(std::size_t chunk_doubles = kDefaultChunkDoubles);
+
+  /// Carves `n` doubles (n >= 1) out of the current chunk, opening a new
+  /// chunk (of at least `n` doubles) when the current one is full.  The
+  /// returned storage is uninitialized and stays valid until release()d by
+  /// its holder AND rewound by a later try_reset().
+  [[nodiscard]] double* allocate(std::size_t n) MWR_EXCLUDES(mutex_);
+
+  /// Declares `n` previously allocated doubles no longer referenced.
+  void release(std::size_t n) noexcept;
+
+  /// Rewinds the bump pointer to the start of the first chunk — chunks are
+  /// retained for reuse — iff nothing is outstanding.  Returns whether the
+  /// rewind happened.  Called by the communicator at cycle-close barriers.
+  bool try_reset() MWR_EXCLUDES(mutex_);
+
+  /// Doubles currently allocated-but-not-released (racy; diagnostics).
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  /// Chunks currently owned (high-water storage footprint).
+  [[nodiscard]] std::size_t chunk_count() const MWR_EXCLUDES(mutex_);
+
+ private:
+  struct Chunk {
+    std::unique_ptr<double[]> data;
+    std::size_t capacity = 0;
+  };
+
+  const std::size_t chunk_doubles_;
+  mutable util::Mutex mutex_;
+  std::vector<Chunk> chunks_ MWR_GUARDED_BY(mutex_);
+  std::size_t chunk_index_ MWR_GUARDED_BY(mutex_) = 0;
+  std::size_t offset_ MWR_GUARDED_BY(mutex_) = 0;
+  /// Doubles allocated and not yet released.  Incremented under mutex_ (in
+  /// allocate), decremented lock-free (release runs in payload destructors
+  /// on arbitrary threads); try_reset re-checks it under mutex_, where no
+  /// new allocation can race the rewind.
+  std::atomic<std::size_t> outstanding_{0};
+};
+
+}  // namespace mwr::parallel

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/simd/weight_kernels.hpp"
+
 // The CMake configuration stamps these onto mwr_util; default them so the
 // TU still compiles standalone (e.g. under -fsyntax-only checks).
 #ifndef MWR_BUILD_VERSION
@@ -41,6 +43,8 @@ std::string compiler() {
 
 const char* build_type() { return MWR_BUILD_TYPE; }
 
+const char* simd_dispatch() { return simd::dispatch_name(); }
+
 std::string build_info_line(const std::string& tool_name) {
   std::ostringstream out;
   out << tool_name << " mwrepair/" << version() << " (" << compiler() << ", "
@@ -48,7 +52,8 @@ std::string build_info_line(const std::string& tool_name) {
   const char* san = sanitizers();
   out << (san[0] != '\0' ? san : "none");
   out << ", thread-safety-analysis="
-      << (thread_safety_analysis() ? "on" : "off") << ")";
+      << (thread_safety_analysis() ? "on" : "off") << ", simd="
+      << simd_dispatch() << ")";
   return out.str();
 }
 

@@ -29,9 +29,16 @@ namespace mwr::util {
 /// CMake build type, e.g. "Release".
 [[nodiscard]] const char* build_type();
 
+/// Active weight-kernel dispatch path, e.g. "avx2", "scalar", or
+/// "scalar (forced)" under MWR_FORCE_SCALAR=1.  Resolved at runtime —
+/// unlike the other fields this can differ between two runs of the
+/// same binary, which is exactly why --version must report it.
+[[nodiscard]] const char* simd_dispatch();
+
 /// One-line, machine-greppable summary:
 ///   "<tool> mwrepair/<version> (<compiler>, <build_type>,
-///    sanitize=<list|none>, thread-safety-analysis=<on|off>)"
+///    sanitize=<list|none>, thread-safety-analysis=<on|off>,
+///    simd=<dispatch>)"
 [[nodiscard]] std::string build_info_line(const std::string& tool_name);
 
 }  // namespace mwr::util

@@ -1,5 +1,7 @@
 #include "util/fenwick_sampler.hpp"
 
+#include "util/simd/weight_kernels.hpp"
+
 namespace mwr::util {
 
 FenwickSampler::FenwickSampler(std::span<const double> weights) {
@@ -7,18 +9,23 @@ FenwickSampler::FenwickSampler(std::span<const double> weights) {
 }
 
 void FenwickSampler::rebuild(std::span<const double> weights) {
-  const std::size_t n = weights.size();
   weights_.assign(weights.begin(), weights.end());
-  tree_.assign(n + 1, 0.0);
-  total_ = 0.0;
-  // Linear construction: seed each node with its own weight, then push the
-  // partial sum into the parent that covers it.  One pass, O(k).
-  for (std::size_t i = 1; i <= n; ++i) {
-    tree_[i] += weights_[i - 1];
-    const std::size_t parent = i + (i & (~i + 1));
-    if (parent <= n) tree_[parent] += tree_[i];
-    total_ += weights_[i - 1];
-  }
+  build_tree(1.0);
+}
+
+void FenwickSampler::rebuild_in_place(double divisor) { build_tree(divisor); }
+
+void FenwickSampler::rebuild_in_place() { build_tree(1.0); }
+
+void FenwickSampler::build_tree(double divisor) {
+  const std::size_t n = weights_.size();
+  tree_.resize(n + 1);
+  // Fused renormalize + linear Fenwick construction through the dispatched
+  // kernel: same node values and the canonical left-to-right total fold as
+  // the historical one-node-at-a-time build (the reduction-order contract,
+  // util/simd/weight_kernels.hpp), one pass over the weights.
+  total_ = simd::active().fenwick_rebuild(weights_.data(), tree_.data(), n,
+                                          divisor);
   top_bit_ = 0;
   if (n > 0) {
     top_bit_ = 1;

@@ -52,6 +52,29 @@ class FenwickSampler {
   /// linear Fenwick construction (no per-element log-factor).
   void rebuild(std::span<const double> weights);
 
+  /// Fused renormalize + rebuild: divides every stored weight by `divisor`
+  /// (via the dispatched SIMD kernel) and reconstructs the tree and total
+  /// in place, without copying the weight vector.  The total is the same
+  /// strict left-to-right fold rebuild() produces, so trajectories are
+  /// unchanged.  O(k), one pass over the weights instead of three.
+  void rebuild_in_place(double divisor);
+
+  /// Rebuilds the tree and total from the current weights after the caller
+  /// mutated them through mutable_weights().  O(k).
+  void rebuild_in_place();
+
+  /// The raw weight vector (canonical SoA storage for learners that keep
+  /// their per-arm state here instead of a duplicate array).
+  [[nodiscard]] const std::vector<double>& raw_weights() const noexcept {
+    return weights_;
+  }
+
+  /// Mutable view of the raw weights for in-place kernel passes.  The tree
+  /// and total are stale until the caller invokes rebuild_in_place().
+  [[nodiscard]] std::span<double> mutable_weights() noexcept {
+    return weights_;
+  }
+
   /// Point update: sets weight `index` to `value`.  O(log k).
   void update(std::size_t index, double value);
 
@@ -84,6 +107,10 @@ class FenwickSampler {
   [[nodiscard]] std::size_t sample(RngStream& rng) const;
 
  private:
+  /// Divides weights_ by `divisor` (1.0 skips the divide) and reconstructs
+  /// the tree and total_ via the fused dispatch kernel.  O(k).
+  void build_tree(double divisor);
+
   /// Index of the last strictly positive weight, for the floating-point
   /// underrun fallback.  size() when all weights are zero.
   [[nodiscard]] std::size_t last_positive() const;

@@ -1,0 +1,21 @@
+// Fixture: direct SIMD intrinsics outside src/util/simd/ must be flagged.
+#include <immintrin.h>
+
+namespace fixture {
+
+double vector_sum(const double* w) {
+  __m256d acc = _mm256_loadu_pd(w);
+  acc = _mm256_add_pd(acc, _mm256_loadu_pd(w + 4));
+  double out[4];
+  _mm256_storeu_pd(out, acc);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+__attribute__((target("avx2"))) double gated(const double* w) {
+  const __m128d lo = _mm_loadu_pd(w);
+  double out[2];
+  _mm_storeu_pd(out, lo);
+  return out[0] + out[1];
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: src/util/simd/ is the dispatch seam — the one directory where
+// intrinsics are allowed, so this file must lint clean.
+#include <immintrin.h>
+
+namespace fixture {
+
+double kernel_sum(const double* w) {
+  const __m256d acc = _mm256_add_pd(_mm256_loadu_pd(w),
+                                    _mm256_loadu_pd(w + 4));
+  double out[4];
+  _mm256_storeu_pd(out, acc);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace fixture

@@ -110,6 +110,7 @@ TEST(Cli, VersionReturnsFalseAndReportsBuildConfig) {
   EXPECT_NE(out.find("mytool mwrepair/"), std::string::npos);
   EXPECT_NE(out.find("sanitize="), std::string::npos);
   EXPECT_NE(out.find("thread-safety-analysis="), std::string::npos);
+  EXPECT_NE(out.find("simd="), std::string::npos);
   EXPECT_EQ(out.find("—"), std::string::npos);  // description tail dropped
 }
 
@@ -124,6 +125,8 @@ TEST(BuildInfo, LineIsSelfConsistent) {
   EXPECT_NE(line.find(san.empty() ? "sanitize=none" : "sanitize=" + san),
             std::string::npos);
   EXPECT_NE(line.find(compiler()), std::string::npos);
+  EXPECT_NE(line.find(std::string("simd=") + simd_dispatch()),
+            std::string::npos);
 }
 
 TEST(Cli, TypedAccessorsEnforceKinds) {

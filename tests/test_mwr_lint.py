@@ -27,6 +27,7 @@ BAD_CASES = {
     "unordered-iteration": ("unordered-iteration", 2),
     "naked-mutex": ("naked-mutex", 4),
     "raw-ipc": ("raw-ipc", 9),
+    "raw-simd": ("raw-simd", 5),
     "bad-suppression": ("bad-suppression", 2),
 }
 

@@ -1,0 +1,206 @@
+// Unit tests for parallel/payload_arena and the arena-backed PayloadVec
+// representation: bump/chunk mechanics, the outstanding-count gate on
+// try_reset, value semantics of arena payloads, and the communicator
+// integration (send_copy fan-out + rewind at cycle-close barriers).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "parallel/comm.hpp"
+#include "parallel/mailbox.hpp"
+#include "parallel/payload_arena.hpp"
+
+namespace mwr::parallel {
+namespace {
+
+std::vector<double> iota_payload(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i + 1);
+  return v;
+}
+
+TEST(PayloadArena, BumpsWithinOneChunk) {
+  PayloadArena arena(/*chunk_doubles=*/64);
+  double* a = arena.allocate(16);
+  double* b = arena.allocate(16);
+  EXPECT_EQ(b, a + 16);  // same chunk, bump-adjacent
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.outstanding(), 32u);
+  arena.release(16);
+  arena.release(16);
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(PayloadArena, GrowsNewChunkWhenFull) {
+  PayloadArena arena(/*chunk_doubles=*/32);
+  (void)arena.allocate(24);
+  double* b = arena.allocate(24);  // does not fit the 8 remaining doubles
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  arena.release(24);
+  arena.release(24);
+}
+
+TEST(PayloadArena, OversizeAllocationGetsDedicatedChunk) {
+  PayloadArena arena(/*chunk_doubles=*/32);
+  double* big = arena.allocate(1000);
+  ASSERT_NE(big, nullptr);
+  big[999] = 1.0;  // the whole span is writable
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  arena.release(1000);
+  EXPECT_TRUE(arena.try_reset());
+}
+
+TEST(PayloadArena, TryResetRefusesWhileOutstanding) {
+  PayloadArena arena(/*chunk_doubles=*/32);
+  (void)arena.allocate(8);
+  EXPECT_FALSE(arena.try_reset());
+  arena.release(8);
+  EXPECT_TRUE(arena.try_reset());
+  EXPECT_TRUE(arena.try_reset());  // idempotent when drained
+}
+
+TEST(PayloadArena, ResetReusesRetainedChunkStorage) {
+  PayloadArena arena(/*chunk_doubles=*/32);
+  double* first = arena.allocate(8);
+  arena.release(8);
+  ASSERT_TRUE(arena.try_reset());
+  double* again = arena.allocate(8);
+  EXPECT_EQ(again, first);  // rewound to the start of the retained chunk
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  arena.release(8);
+}
+
+TEST(PayloadArena, RejectsZeroChunkSize) {
+  EXPECT_THROW(PayloadArena arena(0), std::invalid_argument);
+}
+
+TEST(PayloadVecArena, SmallPayloadStaysInlineAndSkipsArena) {
+  auto arena = std::make_shared<PayloadArena>();
+  const std::vector<double> v = iota_payload(PayloadVec::kInlineDoubles);
+  PayloadVec p(v, arena);
+  EXPECT_FALSE(p.arena_backed());
+  EXPECT_FALSE(p.spilled());
+  EXPECT_EQ(arena->outstanding(), 0u);
+  EXPECT_EQ(std::move(p).to_vector(), v);
+}
+
+TEST(PayloadVecArena, LargePayloadIsArenaBackedAndReleasesOnDestruction) {
+  auto arena = std::make_shared<PayloadArena>();
+  const std::vector<double> v = iota_payload(32);
+  {
+    PayloadVec p(v, arena);
+    EXPECT_TRUE(p.arena_backed());
+    EXPECT_FALSE(p.spilled());  // arena-backed, not heap-spilled
+    EXPECT_EQ(p.size(), 32u);
+    EXPECT_EQ(arena->outstanding(), 32u);
+    EXPECT_EQ(p.to_vector(), v);
+    EXPECT_FALSE(arena->try_reset());  // p still holds its doubles
+  }
+  EXPECT_EQ(arena->outstanding(), 0u);
+  EXPECT_TRUE(arena->try_reset());
+}
+
+TEST(PayloadVecArena, MoveTransfersOwnershipWithoutDoubleRelease) {
+  auto arena = std::make_shared<PayloadArena>();
+  const std::vector<double> v = iota_payload(16);
+  PayloadVec a(v, arena);
+  PayloadVec b(std::move(a));
+  EXPECT_TRUE(b.arena_backed());
+  EXPECT_EQ(arena->outstanding(), 16u);  // exactly one live allocation
+  PayloadVec c;
+  c = std::move(b);
+  EXPECT_EQ(arena->outstanding(), 16u);
+  EXPECT_EQ(c.to_vector(), v);
+  c = PayloadVec{};  // move-assign over the arena payload releases it
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(PayloadVecArena, CopyIsDeepAndArenaFree) {
+  auto arena = std::make_shared<PayloadArena>();
+  const std::vector<double> v = iota_payload(16);
+  PayloadVec a(v, arena);
+  PayloadVec b(a);
+  EXPECT_FALSE(b.arena_backed());
+  EXPECT_TRUE(b.spilled());  // the copy owns a heap vector
+  EXPECT_EQ(arena->outstanding(), 16u);  // only the original counts
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b.to_vector(), v);
+}
+
+TEST(PayloadVecArena, ArenaOutlivesWorldViaSharedPtr) {
+  // A payload that escapes its arena's usual owner must stay valid: the
+  // shared_ptr inside the PayloadVec keeps the storage alive.
+  PayloadVec escaped;
+  {
+    auto arena = std::make_shared<PayloadArena>();
+    escaped = PayloadVec(iota_payload(16), arena);
+  }
+  EXPECT_TRUE(escaped.arena_backed());
+  EXPECT_EQ(escaped.to_vector(), iota_payload(16));
+}
+
+TEST(PayloadVecArena, MailboxRoundTripPreservesValues) {
+  auto arena = std::make_shared<PayloadArena>();
+  Mailbox box;
+  box.push({2, 7, PayloadVec(iota_payload(24), arena)});
+  EXPECT_FALSE(arena->try_reset());  // parked in the queue
+  const Message m = box.recv();
+  EXPECT_EQ(m.source, 2);
+  EXPECT_TRUE(m.payload.arena_backed());
+  EXPECT_EQ(m.payload.to_vector(), iota_payload(24));
+}
+
+TEST(CommArena, BroadcastFanOutUsesArenaAndRewindsAtCycleClose) {
+  CommWorld world(4);
+  const std::vector<double> payload = iota_payload(32);
+  world.run([&](Comm& comm) {
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      const std::vector<double> got = comm.broadcast(0, payload);
+      ASSERT_EQ(got, payload);
+      comm.barrier_close_cycle();
+    }
+  });
+  // Every cycle's payloads were consumed before the close, so the final
+  // close rewound the arena completely.
+  EXPECT_EQ(world.payload_arena()->outstanding(), 0u);
+  EXPECT_EQ(world.payload_arena()->chunk_count(), 1u);
+}
+
+TEST(CommArena, SendCopyMatchesSendTrajectories) {
+  // send_copy must be observationally identical to send() with a vector
+  // copy: same values, same per-channel ordering, same congestion counts.
+  CommWorld world(3);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> v = iota_payload(16);
+      for (int r = 1; r < comm.size(); ++r) {
+        comm.send_copy(r, 5, v);
+        comm.send(r, 5, std::vector<double>(v));
+      }
+    } else {
+      const std::vector<double> first = comm.recv(0, 5).payload;
+      const std::vector<double> second = comm.recv(0, 5).payload;
+      ASSERT_EQ(first, second);  // arena copy delivered before vector copy
+    }
+    comm.barrier_close_cycle();
+  });
+  // Each non-root absorbed exactly two tracked messages this cycle.
+  EXPECT_DOUBLE_EQ(world.congestion().max_per_cycle().max(), 2.0);
+}
+
+TEST(CommArena, TreeAllreduceWithArenaBcastStaysCorrect) {
+  CommWorld world(8);
+  world.run([&](Comm& comm) {
+    std::vector<double> mine(40, static_cast<double>(comm.rank() + 1));
+    const std::vector<double> sum = comm.allreduce_sum_tree(mine);
+    ASSERT_EQ(sum.size(), 40u);
+    for (const double s : sum) ASSERT_DOUBLE_EQ(s, 36.0);  // 1+2+...+8
+    comm.barrier_close_cycle();
+  });
+  EXPECT_EQ(world.payload_arena()->outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace mwr::parallel

@@ -35,6 +35,12 @@ Everywhere under src/ (minus each rule's own whitelist):
                           must go through the Transport abstraction so the
                           wire format, abort propagation, and congestion
                           accounting stay in one place
+  raw-simd                direct SIMD intrinsics (immintrin.h, _mm/_mm256/
+                          _mm512 calls, __m128/256/512 types, target
+                          attributes) outside src/util/simd/ — every
+                          vector loop must live behind the weight-kernel
+                          dispatch seam so the scalar/AVX2 bit-identity
+                          contract stays auditable in one place
 
 Whitelist entries ending in "/" exempt a whole directory subtree; other
 entries exempt exactly one file.
@@ -181,6 +187,25 @@ RULES = [
         bit_identity_only=False,
         # The fabric itself: rings, sockets, and the fork-based launcher.
         whitelist=("src/parallel/transport/",),
+    ),
+    Rule(
+        "raw-simd",
+        "direct SIMD intrinsics outside the kernel layer; route vector "
+        "loops through util::simd (src/util/simd/weight_kernels.hpp) so "
+        "the scalar/AVX2 bit-identity contract stays auditable in one "
+        "place",
+        [
+            r"[<\"]\s*(?:x|e|w|z|i)mmintrin\.h\s*[>\"]",
+            r"[<\"]\s*immintrin\.h\s*[>\"]",
+            r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\(",
+            r"\b__m(?:128|256|512)[id]?\b",
+            r"__attribute__\s*\(\s*\(\s*target\b",
+            r"\[\[\s*gnu\s*::\s*target\b",
+        ],
+        bit_identity_only=False,
+        # The dispatch seam itself: the one directory allowed to spell
+        # intrinsics.
+        whitelist=("src/util/simd/",),
     ),
 ]
 RULE_NAMES = {rule.name for rule in RULES} | {"unordered-iteration"}
