@@ -29,6 +29,16 @@ mwr-bench-transport-v1 (bench_transport --json):
   not regress more than 5x in either metric against the committed baseline
   (process forking on shared CI runners is noisy, hence the allowance).
 
+mwr-bench-serve-v1 (bench_serve --json):
+  the campaign server must complete every admitted campaign (completed ==
+  campaigns), never starve one (starved_epochs == 0), reproduce the
+  uninterrupted trajectories after a checkpoint/kill/restore cycle
+  (resume_ok), record the deliberate overflow submissions as admission
+  rejects, clear an absolute campaigns/sec floor and a p99 probe-latency
+  ceiling, and not regress throughput more than 5x against the committed
+  baseline.  The identity bits (resume_ok, starvation, completion) are
+  measured within one run, so they gate hard regardless of runner speed.
+
 Speedup floors and the bit-identity bit are measured within one run, so
 they are immune to runner-speed variance; only the absolute-regression
 checks compare across machines, hence their generous allowances.
@@ -73,6 +83,14 @@ TRANSPORT_SECTIONS = ["in_process", "shm", "uds"]
 TRANSPORT_MIN_MSGS_PER_SEC = 50_000.0
 TRANSPORT_MAX_P99_LATENCY_US = 20_000.0
 TRANSPORT_MAX_ABS_REGRESSION = 5.0  # vs baseline, either metric
+
+SERVE_SCHEMA = "mwr-bench-serve-v1"
+# An order of magnitude under the slowest expected runner, like the
+# transport floors: catches the server degenerating to one campaign per
+# epoch-sweep without flaking on machine variance.
+SERVE_MIN_CAMPAIGNS_PER_SEC = 20.0
+SERVE_MAX_P99_PROBE_US = 10_000.0
+SERVE_MAX_ABS_REGRESSION = 5.0  # campaigns/sec vs baseline, cross-machine
 
 
 def fail(message):
@@ -264,10 +282,86 @@ def check_transport(current, baseline):
     )
 
 
+SERVE_NUMERIC_FIELDS = {
+    # section -> field -> minimum allowed value (structural validation;
+    # the behavioral gates live in check_serve).
+    "load": {
+        "campaigns": 1,
+        "completed": 0,
+        "families": 4,
+        "campaigns_per_sec": 0,
+        "admission_rejects": 0,
+    },
+    "probes": {"count": 1, "p50_us": 0, "p99_us": 0},
+    "checkpoint": {"total_bytes": 1},
+    "fairness": {"epochs": 1, "starved_epochs": 0},
+}
+
+
+def validate_serve(path, doc):
+    for name, fields in SERVE_NUMERIC_FIELDS.items():
+        section = doc.get(name)
+        if not isinstance(section, dict):
+            fail(f"{path}: missing section {name}")
+        for field, minimum in fields.items():
+            value = section.get(field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(f"{path}: {name}.{field} is {value!r}, expected a number")
+            if value < minimum:
+                fail(f"{path}: {name}.{field} is {value!r}, expected >= {minimum}")
+    if not isinstance(doc["checkpoint"].get("resume_ok"), bool):
+        fail(f"{path}: checkpoint.resume_ok missing or not a bool")
+
+
+def check_serve(current, baseline):
+    load = current["load"]
+    if load["completed"] != load["campaigns"]:
+        fail(
+            f"only {load['completed']} of {load['campaigns']} admitted "
+            f"campaigns completed"
+        )
+    if current["fairness"]["starved_epochs"] != 0:
+        fail(
+            f"{current['fairness']['starved_epochs']} starved campaign-epochs "
+            f"(DRR must starve no one)"
+        )
+    if not current["checkpoint"]["resume_ok"]:
+        fail("checkpoint/kill/restore cycle did not reproduce the trajectories")
+    if load["admission_rejects"] < 1:
+        fail("overflow submissions were not rejected (admission control dead)")
+
+    throughput = load["campaigns_per_sec"]
+    if throughput < SERVE_MIN_CAMPAIGNS_PER_SEC:
+        fail(
+            f"throughput {throughput:.1f} campaigns/s is below the "
+            f"{SERVE_MIN_CAMPAIGNS_PER_SEC:.0f} floor"
+        )
+    p99 = current["probes"]["p99_us"]
+    if p99 > SERVE_MAX_P99_PROBE_US:
+        fail(
+            f"p99 probe latency {p99:.1f} us exceeds the "
+            f"{SERVE_MAX_P99_PROBE_US:.0f} us ceiling"
+        )
+    base_throughput = baseline["load"]["campaigns_per_sec"]
+    if throughput * SERVE_MAX_ABS_REGRESSION < base_throughput:
+        fail(
+            f"throughput regressed: {throughput:.1f} campaigns/s vs baseline "
+            f"{base_throughput:.1f} (allowed {SERVE_MAX_ABS_REGRESSION}x)"
+        )
+
+    print(
+        f"bench gate: OK ({load['campaigns']} campaigns "
+        f"{throughput:.1f}/s, probe p99 {p99:.1f}us, "
+        f"{current['checkpoint']['total_bytes']} checkpoint bytes, "
+        f"resume bit-identical, 0 starved)"
+    )
+
+
 CHECKERS = {
     HOT_PATHS_SCHEMA: (validate_hot_paths, check_hot_paths),
     SPMD_SCALE_SCHEMA: (validate_spmd_scale, check_spmd_scale),
     TRANSPORT_SCHEMA: (validate_transport, check_transport),
+    SERVE_SCHEMA: (validate_serve, check_serve),
 }
 
 

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "apr/campaign.hpp"
+#include "apr/outcome_json.hpp"
 #include "datasets/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -27,13 +28,12 @@ core::MwuKind parse_mwu(const std::string& name) {
       "--mwu must be standard|slate|distributed|exp3, got: " + name);
 }
 
-[[nodiscard]] bool repair_one(const datasets::ScenarioSpec& spec,
-                              const apr::MwRepairConfig& repair_config,
-                              const apr::PoolConfig& pool_config,
-                              util::Table& table) {
+[[nodiscard]] apr::EndToEndOutcome repair_one(
+    const datasets::ScenarioSpec& spec,
+    const apr::MwRepairConfig& repair_config,
+    const apr::PoolConfig& pool_config, util::Table& table) {
   util::WallTimer timer;
-  const auto outcome =
-      apr::repair_scenario(spec, repair_config, pool_config);
+  auto outcome = apr::repair_scenario(spec, repair_config, pool_config);
   table.add_row(
       {spec.name, spec.language, outcome.repair.repaired ? "yes" : "no",
        std::to_string(outcome.pool_size),
@@ -42,7 +42,7 @@ core::MwuKind parse_mwu(const std::string& name) {
        std::to_string(outcome.repair.iterations),
        std::to_string(outcome.repair.patch.size()),
        util::fmt_fixed(timer.elapsed_seconds(), 2) + "s"});
-  return outcome.repair.repaired;
+  return outcome;
 }
 
 }  // namespace
@@ -59,8 +59,16 @@ int main(int argc, char** argv) {
   cli.add_int("eval-threads", 4, "threads for probe evaluation");
   cli.add_int("campaign", 0, "repair N sequential bugs with one shared pool");
   cli.add_int("seed", 20210525, "master seed");
+  cli.add_string("outcome-out", "",
+                 "write the run's mwr-campaign-outcome-v1 JSON here (the "
+                 "same document the campaign server serves as the result)");
   util::add_metrics_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const std::string outcome_out = cli.get_string("outcome-out");
+  if (!outcome_out.empty() && cli.get_flag("all")) {
+    std::cerr << "--outcome-out documents a single scenario; drop --all\n";
+    return 1;
+  }
 
   apr::PoolConfig pool_config;
   pool_config.target_size = static_cast<std::size_t>(cli.get_int("pool"));
@@ -100,6 +108,8 @@ int main(int argc, char** argv) {
               << campaign.precompute_runs << " suite runs; amortized "
               << util::fmt_fixed(campaign.amortized_bug_cost(), 0)
               << " suite runs/bug\n";
+    if (!outcome_out.empty())
+      apr::write_outcome_json(apr::outcome_to_json(campaign), outcome_out);
     util::write_metrics_if_requested(cli);
     return campaign.repaired() == campaign.bugs.size() ? 0 : 1;
   }
@@ -122,12 +132,15 @@ int main(int argc, char** argv) {
     for (const auto& family :
          {datasets::c_scenarios(), datasets::java_scenarios()}) {
       for (const auto& spec : family) {
-        all_repaired &= run_scenario(spec);
+        all_repaired &= run_scenario(spec).repair.repaired;
       }
     }
   } else {
-    all_repaired =
+    const auto outcome =
         run_scenario(datasets::scenario_by_name(cli.get_string("scenario")));
+    all_repaired = outcome.repair.repaired;
+    if (!outcome_out.empty())
+      apr::write_outcome_json(apr::outcome_to_json(outcome), outcome_out);
   }
   table.emit(std::cout);
   util::write_metrics_if_requested(cli);

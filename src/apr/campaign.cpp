@@ -1,8 +1,11 @@
 #include "apr/campaign.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 
-#include "obs/registry.hpp"
+#include "apr/campaign_session.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mwr::apr {
 
@@ -27,76 +30,20 @@ double CampaignOutcome::amortized_bug_cost() const noexcept {
 
 CampaignOutcome run_campaign(const datasets::ScenarioSpec& base,
                              const CampaignConfig& config) {
-  // End-of-run telemetry (exported by --metrics-out in the CLI): per-bug
-  // outcomes and wall time, plus the §III-C maintenance cost the
-  // amortization argument is about.
-  auto& metrics = obs::MetricsRegistry::global();
-  obs::Counter& bugs_attempted = metrics.counter("campaign.bugs_attempted");
-  obs::Counter& bugs_repaired = metrics.counter("campaign.bugs_repaired");
-  obs::Counter& maintenance_runs =
-      metrics.counter("campaign.maintenance_runs");
-  obs::Histogram& bug_seconds = metrics.histogram("campaign.bug_seconds");
-
-  CampaignOutcome outcome;
-
-  // Phase 1, once: the pool is a property of the program + current suite.
-  datasets::ScenarioSpec current = base;
-  {
-    const ProgramModel program(current);
-    const TestOracle oracle(program);
-    auto pool = MutationPool::precompute(oracle, config.pool);
-    outcome.precompute_runs = oracle.suite_runs();
-    outcome.initial_pool_size = pool.size();
-
-    std::size_t repaired_so_far = 0;
-    MutationPool working_pool = std::move(pool);
-    for (std::size_t bug = 0; bug < config.bugs; ++bug) {
-      const obs::ScopedTimer bug_timer(bug_seconds);
-      bugs_attempted.add(1);
-      BugOutcome record;
-      record.bug_id = bug;
-
-      // The suite has grown by one trigger test per repaired bug.
-      datasets::ScenarioSpec bug_spec = base;
-      bug_spec.bug_id = bug;
-      if (config.grow_suite) {
-        bug_spec.tests = std::min<std::size_t>(64, base.tests + repaired_so_far);
-      }
-      const ProgramModel bug_program(bug_spec);
-      const TestOracle bug_oracle(bug_program);
-
-      // Incremental maintenance: revalidate the pool against the grown
-      // suite (a no-op when nothing changed, a partial re-run otherwise).
-      const std::uint64_t runs_before = bug_oracle.suite_runs();
-      if (config.grow_suite && bug_spec.tests != current.tests) {
-        record.pool_dropped =
-            working_pool.revalidate(bug_oracle, config.pool.threads);
-        current.tests = bug_spec.tests;
-      }
-      record.maintenance_runs = bug_oracle.suite_runs() - runs_before;
-      record.pool_size = working_pool.size();
-
-      if (!working_pool.empty()) {
-        MwRepairConfig repair_config = config.repair;
-        repair_config.max_count =
-            std::min(repair_config.max_count, working_pool.size());
-        repair_config.seed = config.repair.seed ^ (bug * 0x9e3779b9ULL);
-        const MwRepair repair(repair_config);
-        const auto result = repair.run(bug_oracle, working_pool);
-        record.repaired = result.repaired;
-        record.patch_edits = result.patch.size();
-        record.online_probes = result.probes;
-        record.online_cycles = result.iterations;
-        if (result.repaired) ++repaired_so_far;
-      }
-      if (record.repaired) bugs_repaired.add(1);
-      maintenance_runs.add(record.maintenance_runs);
-      outcome.bugs.push_back(record);
-    }
-    metrics.gauge("campaign.converged")
-        .set(repaired_so_far == config.bugs ? 1.0 : 0.0);
+  // The campaign is a CampaignSession stepped to completion: the session
+  // performs every phase (precompute, per-bug revalidation, online MWU
+  // cycles) in the same order — and with the same telemetry — as the
+  // historical monolithic loop, so this wrapper is bit-identical to it.
+  // Servers drive the same session a few cycles at a time instead
+  // (serve/server.hpp).
+  CampaignSession session(base, config);
+  std::optional<parallel::ThreadPool> workers;
+  if (config.repair.eval_threads > 1) workers.emplace(config.repair.eval_threads);
+  while (!session.done()) {
+    session.step(std::numeric_limits<std::size_t>::max(),
+                 workers ? &*workers : nullptr);
   }
-  return outcome;
+  return session.outcome();
 }
 
 }  // namespace mwr::apr

@@ -1,0 +1,341 @@
+#include "apr/campaign_session.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mwr::apr {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_fold(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_fold(std::uint64_t h, double v) noexcept {
+  return fnv_fold(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t fnv_fold(std::uint64_t h, const std::string& s) noexcept {
+  h = fnv_fold(h, static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Identity of the campaign definition: every field of the base spec and
+/// of the configuration that influences the trajectory.  A checkpoint
+/// resumed against a different definition would silently diverge; the
+/// fingerprint turns that into a loud error.
+std::uint64_t campaign_fingerprint(const datasets::ScenarioSpec& spec,
+                                   const CampaignConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_fold(h, spec.name);
+  h = fnv_fold(h, spec.language);
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.options));
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.statements));
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.tests));
+  h = fnv_fold(h, spec.coverage);
+  h = fnv_fold(h, spec.safe_rate);
+  h = fnv_fold(h, spec.repair_rate);
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.optimum));
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.min_repair_edits));
+  h = fnv_fold(h, spec.value_noise);
+  h = fnv_fold(h, spec.seed);
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.bug_id));
+  h = fnv_fold(h, static_cast<std::uint64_t>(spec.relevance_localized));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.bugs));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.grow_suite));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.pool.target_size));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.pool.max_attempts));
+  h = fnv_fold(h, config.pool.seed);
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.repair.mwu));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.repair.arms));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.repair.max_count));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.repair.agents));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.repair.max_iterations));
+  h = fnv_fold(h, static_cast<std::uint64_t>(config.repair.reward));
+  h = fnv_fold(h, config.repair.learning_rate);
+  h = fnv_fold(h, config.repair.exploration);
+  h = fnv_fold(h, config.repair.seed);
+  return h;
+}
+}  // namespace
+
+CampaignSession::CampaignSession(datasets::ScenarioSpec base,
+                                 CampaignConfig config,
+                                 ScenarioServices* services)
+    : base_(std::move(base)),
+      config_(config),
+      services_(services),
+      fingerprint_(campaign_fingerprint(base_, config_)),
+      current_tests_(base_.tests),
+      trajectory_fold_(kFnvOffset) {
+  auto& metrics = obs::MetricsRegistry::global();
+  bugs_attempted_ = &metrics.counter("campaign.bugs_attempted");
+  bugs_repaired_ = &metrics.counter("campaign.bugs_repaired");
+  maintenance_runs_ = &metrics.counter("campaign.maintenance_runs");
+  bug_seconds_hist_ = &metrics.histogram("campaign.bug_seconds");
+}
+
+CampaignSession::~CampaignSession() = default;
+
+void CampaignSession::set_metric_scope(const std::string& prefix) {
+  scope_ = std::make_unique<obs::ScopedMetrics>(
+      obs::MetricsRegistry::global().scoped(prefix));
+}
+
+datasets::ScenarioSpec CampaignSession::bug_spec() const {
+  datasets::ScenarioSpec spec = base_;
+  spec.bug_id = bug_index_;
+  if (config_.grow_suite) {
+    // The suite has grown by one trigger test per repaired bug, capped at
+    // the oracle's 64-test model limit.
+    spec.tests = std::min<std::size_t>(64, base_.tests + repaired_so_far_);
+  }
+  return spec;
+}
+
+MwRepairConfig CampaignSession::bug_repair_config() const {
+  MwRepairConfig repair_config = config_.repair;
+  repair_config.max_count =
+      std::min(repair_config.max_count, working_pool_.size());
+  repair_config.seed = config_.repair.seed ^ (bug_index_ * 0x9e3779b9ULL);
+  return repair_config;
+}
+
+void CampaignSession::open_bug_oracle() {
+  const datasets::ScenarioSpec spec = bug_spec();
+  if (services_ != nullptr) {
+    bug_lease_ = services_->oracle_for(spec);
+    return;
+  }
+  auto program = std::make_shared<const ProgramModel>(spec);
+  auto oracle = std::make_shared<const TestOracle>(*program);
+  bug_lease_ =
+      ScenarioServices::OracleLease{std::move(program), std::move(oracle),
+                                    /*shared=*/false};
+}
+
+void CampaignSession::do_precompute() {
+  if (services_ != nullptr) {
+    const auto lease = services_->base_pool(base_, config_.pool);
+    working_pool_ = *lease.pool;
+    outcome_.precompute_runs = lease.precompute_runs;
+  } else {
+    const ProgramModel program(base_);
+    const TestOracle oracle(program);
+    working_pool_ = MutationPool::precompute(oracle, config_.pool);
+    outcome_.precompute_runs = oracle.suite_runs();
+  }
+  outcome_.initial_pool_size = working_pool_.size();
+}
+
+void CampaignSession::start_bug(parallel::ThreadPool* /*workers*/) {
+  bugs_attempted_->add(1);
+  if (scope_) scope_->counter("bugs_attempted").add(1);
+  current_bug_ = BugOutcome{};
+  current_bug_.bug_id = bug_index_;
+  bug_seconds_ = 0.0;
+
+  const datasets::ScenarioSpec spec = bug_spec();
+  open_bug_oracle();
+
+  // Incremental maintenance: revalidate the pool against the grown suite
+  // (a no-op when nothing changed, a partial re-run otherwise).  The
+  // revalidation cost is exactly one suite run per member — an identity
+  // of MutationPool::revalidate — so the ledger is analytic and stays
+  // correct when the oracle's global run counter is shared with other
+  // campaigns.
+  if (config_.grow_suite && spec.tests != current_tests_) {
+    current_bug_.maintenance_runs = working_pool_.size();
+    current_bug_.pool_dropped =
+        working_pool_.revalidate(*bug_lease_.oracle, config_.pool.threads);
+    current_tests_ = spec.tests;
+  }
+  current_bug_.pool_size = working_pool_.size();
+
+  if (!working_pool_.empty()) {
+    repair_ = std::make_unique<RepairSession>(
+        bug_repair_config(), *bug_lease_.oracle, working_pool_,
+        /*prime=*/!bug_lease_.shared);
+    phase_ = Phase::kOnline;
+  } else {
+    finish_bug();
+  }
+}
+
+void CampaignSession::finish_bug() {
+  if (repair_) {
+    const RepairOutcome& result = repair_->outcome();
+    current_bug_.repaired = result.repaired;
+    current_bug_.patch_edits = result.patch.size();
+    current_bug_.online_probes = result.probes;
+    current_bug_.online_cycles = result.iterations;
+    trajectory_fold_ = fnv_fold(trajectory_fold_, repair_->trajectory_hash());
+    if (result.repaired) ++repaired_so_far_;
+    repair_.reset();
+  }
+  if (current_bug_.repaired) {
+    bugs_repaired_->add(1);
+    if (scope_) scope_->counter("bugs_repaired").add(1);
+  }
+  maintenance_runs_->add(current_bug_.maintenance_runs);
+  if (scope_) {
+    scope_->counter("maintenance_runs").add(current_bug_.maintenance_runs);
+  }
+  // The campaign-level fingerprint also pins the maintenance ledger.
+  trajectory_fold_ = fnv_fold(trajectory_fold_, current_bug_.bug_id);
+  trajectory_fold_ =
+      fnv_fold(trajectory_fold_,
+               static_cast<std::uint64_t>(current_bug_.repaired));
+  trajectory_fold_ = fnv_fold(
+      trajectory_fold_, static_cast<std::uint64_t>(current_bug_.patch_edits));
+  trajectory_fold_ = fnv_fold(trajectory_fold_, current_bug_.online_probes);
+  trajectory_fold_ = fnv_fold(
+      trajectory_fold_, static_cast<std::uint64_t>(current_bug_.pool_dropped));
+  trajectory_fold_ = fnv_fold(
+      trajectory_fold_, static_cast<std::uint64_t>(current_bug_.pool_size));
+  bug_seconds_hist_->observe(bug_seconds_);
+  outcome_.bugs.push_back(current_bug_);
+  bug_lease_ = ScenarioServices::OracleLease{};
+  ++bug_index_;
+  if (bug_index_ == config_.bugs) {
+    finalize();
+  } else {
+    phase_ = Phase::kBugStart;
+  }
+}
+
+void CampaignSession::finalize() {
+  obs::MetricsRegistry::global()
+      .gauge("campaign.converged")
+      .set(repaired_so_far_ == config_.bugs ? 1.0 : 0.0);
+  trajectory_fold_ =
+      fnv_fold(trajectory_fold_, static_cast<std::uint64_t>(repaired_so_far_));
+  if (scope_) scope_->gauge("done").set(1.0);
+  phase_ = Phase::kDone;
+}
+
+std::size_t CampaignSession::step(std::size_t budget,
+                                  parallel::ThreadPool* workers) {
+  std::size_t used = 0;
+  probes_last_step_ = 0;
+  while (phase_ != Phase::kDone && used < budget) {
+    // obs::ScopedTimer is the only clock apr may touch (bit-identity lint
+    // domain); cancel() detaches it so we can accumulate elapsed time
+    // manually across steps into one per-bug observation.
+    obs::ScopedTimer unit_timer(*bug_seconds_hist_);
+    unit_timer.cancel();
+    switch (phase_) {
+      case Phase::kPrecompute:
+        do_precompute();
+        phase_ = Phase::kBugStart;
+        ++used;
+        break;
+      case Phase::kBugStart:
+        start_bug(workers);
+        bug_seconds_ += unit_timer.elapsed_seconds();
+        ++used;
+        break;
+      case Phase::kOnline: {
+        const bool finished = repair_->step(workers);
+        probes_last_step_ += repair_->probes_last_cycle();
+        if (scope_) {
+          scope_->counter("online.cycles").add(1);
+          scope_->counter("online.probes").add(repair_->probes_last_cycle());
+        }
+        bug_seconds_ += unit_timer.elapsed_seconds();
+        if (finished) finish_bug();
+        ++used;
+        break;
+      }
+      case Phase::kFinishBug:
+        // Never a resting state (finish_bug runs inline above); kept so a
+        // snapshot's phase value space is total.
+        finish_bug();
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+  return used;
+}
+
+std::uint64_t CampaignSession::trajectory_hash() const noexcept {
+  if (repair_) return fnv_fold(trajectory_fold_, repair_->trajectory_hash());
+  return trajectory_fold_;
+}
+
+CampaignSnapshot CampaignSession::snapshot() const {
+  CampaignSnapshot snap;
+  snap.fingerprint = fingerprint_;
+  snap.phase = static_cast<std::uint32_t>(phase_);
+  snap.bug_index = bug_index_;
+  snap.repaired_so_far = repaired_so_far_;
+  snap.current_tests = current_tests_;
+  snap.precompute_runs = outcome_.precompute_runs;
+  snap.initial_pool_size = outcome_.initial_pool_size;
+  snap.trajectory_hash = trajectory_fold_;
+  snap.finished_bugs = outcome_.bugs;
+  snap.current_bug = current_bug_;
+  snap.working_pool.assign(working_pool_.mutations().begin(),
+                           working_pool_.mutations().end());
+  if (repair_ && !repair_->done()) {
+    snap.has_repair_state = true;
+    snap.repair = repair_->save();
+  }
+  return snap;
+}
+
+std::unique_ptr<CampaignSession> CampaignSession::resume(
+    const CampaignSnapshot& snap, datasets::ScenarioSpec base,
+    CampaignConfig config, ScenarioServices* services) {
+  auto session = std::make_unique<CampaignSession>(std::move(base),
+                                                   std::move(config), services);
+  if (snap.fingerprint != session->fingerprint_) {
+    throw std::invalid_argument(
+        "CampaignSession::resume: snapshot fingerprint mismatch (different "
+        "scenario or configuration)");
+  }
+  const auto phase = static_cast<Phase>(snap.phase);
+  if (phase == Phase::kPrecompute) return session;  // nothing ran yet.
+
+  session->phase_ = phase;
+  session->bug_index_ = snap.bug_index;
+  session->repaired_so_far_ = snap.repaired_so_far;
+  session->current_tests_ = snap.current_tests;
+  session->outcome_.precompute_runs = snap.precompute_runs;
+  session->outcome_.initial_pool_size = snap.initial_pool_size;
+  session->outcome_.bugs = snap.finished_bugs;
+  session->current_bug_ = snap.current_bug;
+  session->trajectory_fold_ = snap.trajectory_hash;
+  session->working_pool_ = MutationPool::from_mutations(snap.working_pool);
+
+  if (phase == Phase::kOnline) {
+    if (!snap.has_repair_state) {
+      throw std::invalid_argument(
+          "CampaignSession::resume: online phase without repair state");
+    }
+    session->open_bug_oracle();
+    session->repair_ = std::make_unique<RepairSession>(
+        session->bug_repair_config(), *session->bug_lease_.oracle,
+        session->working_pool_, /*prime=*/!session->bug_lease_.shared);
+    session->repair_->restore(snap.repair);
+  }
+  return session;
+}
+
+}  // namespace mwr::apr

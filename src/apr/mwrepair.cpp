@@ -5,7 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
-#include "obs/registry.hpp"
+#include "apr/repair_session.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mwr::apr {
@@ -36,22 +36,13 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
   if (pool.empty())
     throw std::invalid_argument("MwRepair::run: empty mutation pool");
 
-  // Every phase-2 probe draws from this pool; memoize its semantics up
-  // front so probes hit the oracle's lock-free pooled fast path.  No-op if
-  // precompute already primed this pool (or the cache is disabled).
-  oracle.prime_cache(pool.mutations());
-
-  core::MwuConfig mwu_config;
-  mwu_config.num_options = config_.arms;
-  mwu_config.num_agents = config_.agents;
-  mwu_config.max_iterations = config_.max_iterations;
-  mwu_config.learning_rate = config_.learning_rate;
-  mwu_config.exploration = config_.exploration;
-  const auto strategy = core::make_mwu(config_.mwu, mwu_config);
-
-  util::RngStream rng(config_.seed);
-  const std::uint32_t baseline = oracle.baseline_fitness();
-  const auto max_count = static_cast<double>(config_.max_count);
+  // The whole algorithm lives in RepairSession (one update cycle per
+  // step(), checkpointable between cycles — see apr/repair_session.hpp);
+  // run() is the batch driver: construct a session and step it to
+  // completion.  The session performs every stochastic draw in the same
+  // order this function historically did, so batch and stepped
+  // trajectories are bit-identical.
+  RepairSession session(config_, oracle, pool);
 
   // The expensive suite runs fan out over the worker pool; everything
   // stochastic (patch draws, proxy-acceptance draws) happens sequentially
@@ -59,83 +50,9 @@ RepairOutcome MwRepair::run(const TestOracle& oracle,
   std::optional<parallel::ThreadPool> workers;
   if (config_.eval_threads > 1) workers.emplace(config_.eval_threads);
 
-  // Online-phase telemetry, the Table II/IV quantities of the actual
-  // repair search: completed cycles, suite-run probes, per-cycle wall
-  // time, and the repaired/convergence flag at exit.
-  auto& metrics = obs::MetricsRegistry::global();
-  obs::Counter& cycle_counter = metrics.counter("repair.online.cycles");
-  obs::Counter& probe_counter = metrics.counter("repair.online.probes");
-  obs::Histogram& cycle_seconds =
-      metrics.histogram("repair.online.cycle_seconds");
-  const obs::ScopedTimer phase_timer(metrics.histogram("phase.online.seconds"));
-  obs::Gauge& repaired_gauge = metrics.gauge("repair.repaired");
-
-  RepairOutcome outcome;
-  std::vector<double> rewards;
-  std::vector<Patch> patches;
-  std::vector<double> acceptance;
-  std::vector<Evaluation> evaluations;
-  for (std::size_t t = 0; t < config_.max_iterations; ++t) {
-    const obs::ScopedTimer cycle_timer(cycle_seconds);
-    const auto probes = strategy->sample(rng);           // MWU_Sample
-    patches.clear();
-    acceptance.clear();
-    for (const std::size_t arm : probes) {
-      const std::size_t count = std::min(count_for_arm(arm), pool.size());
-      patches.push_back(sample_from_pool(pool.mutations(), count, rng));
-      acceptance.push_back(rng.uniform());
-    }
-
-    evaluations.assign(patches.size(), Evaluation{});    // parallel evaluation
-    if (workers) {
-      workers->parallel_for_index(patches.size(), [&](std::size_t j) {
-        evaluations[j] = oracle.evaluate(patches[j]);
-      });
-    } else {
-      for (std::size_t j = 0; j < patches.size(); ++j) {
-        evaluations[j] = oracle.evaluate(patches[j]);
-      }
-    }
-    outcome.probes += patches.size();
-    probe_counter.add(patches.size());
-
-    rewards.assign(probes.size(), 0.0);
-    for (std::size_t j = 0; j < patches.size(); ++j) {
-      const Evaluation& e = evaluations[j];
-      if (e.is_repair()) {                               // terminate early
-        outcome.repaired = true;
-        outcome.patch = patches[j];
-        outcome.iterations = t + 1;
-        outcome.preferred_count = patches[j].size();
-        outcome.arm_probabilities = strategy->probabilities();
-        cycle_counter.add(1);
-        repaired_gauge.set(1.0);
-        return outcome;
-      }
-      const bool fitness_kept = e.fitness() >= baseline;
-      switch (config_.reward) {
-        case RewardMode::kFitnessNonDecrease:
-          rewards[j] = fitness_kept ? 1.0 : 0.0;
-          break;
-        case RewardMode::kSafeDensityProxy:
-          // Accept in proportion to the validated combination size, making
-          // E[reward | x] proportional to x * P(pass | x).
-          rewards[j] = (fitness_kept &&
-                        acceptance[j] < static_cast<double>(patches[j].size()) /
-                                            max_count)
-                           ? 1.0
-                           : 0.0;
-          break;
-      }
-    }
-    strategy->update(probes, rewards, rng);              // MWU_Update
-    ++outcome.iterations;
-    cycle_counter.add(1);
+  while (!session.step(workers ? &*workers : nullptr)) {
   }
-  outcome.preferred_count = count_for_arm(strategy->best_option());
-  outcome.arm_probabilities = strategy->probabilities();
-  repaired_gauge.set(0.0);
-  return outcome;  // no repair within budget (Fig 6: return null)
+  return session.outcome();
 }
 
 EndToEndOutcome repair_scenario(const datasets::ScenarioSpec& spec,

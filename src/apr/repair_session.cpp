@@ -1,0 +1,181 @@
+#include "apr/repair_session.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/serialization.hpp"
+#include "obs/registry.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mwr::apr {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_fold(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+RepairSession::RepairSession(const MwRepairConfig& config,
+                             const TestOracle& oracle,
+                             const MutationPool& pool, bool prime)
+    : repair_(config),
+      oracle_(&oracle),
+      pool_(&pool),
+      rng_(repair_.config().seed),
+      baseline_(oracle.baseline_fitness()),
+      trajectory_hash_(kFnvOffset) {
+  if (pool.empty())
+    throw std::invalid_argument("RepairSession: empty mutation pool");
+  // Single-tenant path: memoize the pool's semantics up front, exactly as
+  // the monolithic MwRepair::run always did.  Multi-tenant oracles are
+  // primed once by their owner instead (prime == false) because
+  // prime_cache must not race concurrent evaluate() calls.
+  if (prime) oracle.prime_cache(pool.mutations());
+
+  const MwRepairConfig& cfg = repair_.config();
+  core::MwuConfig mwu_config;
+  mwu_config.num_options = cfg.arms;
+  mwu_config.num_agents = cfg.agents;
+  mwu_config.max_iterations = cfg.max_iterations;
+  mwu_config.learning_rate = cfg.learning_rate;
+  mwu_config.exploration = cfg.exploration;
+  strategy_ = core::make_mwu(cfg.mwu, mwu_config);
+
+  auto& metrics = obs::MetricsRegistry::global();
+  cycle_counter_ = &metrics.counter("repair.online.cycles");
+  probe_counter_ = &metrics.counter("repair.online.probes");
+  cycle_seconds_ = &metrics.histogram("repair.online.cycle_seconds");
+  phase_seconds_ = &metrics.histogram("phase.online.seconds");
+  repaired_gauge_ = &metrics.gauge("repair.repaired");
+}
+
+void RepairSession::finish(bool repaired) {
+  done_ = true;
+  phase_seconds_->observe(online_seconds_);
+  repaired_gauge_->set(repaired ? 1.0 : 0.0);
+}
+
+bool RepairSession::step(parallel::ThreadPool* workers) {
+  if (done_) return true;
+  const MwRepairConfig& cfg = repair_.config();
+  const auto max_count = static_cast<double>(cfg.max_count);
+
+  const obs::ScopedTimer cycle_timer(*cycle_seconds_);
+  const auto probes = strategy_->sample(rng_);           // MWU_Sample
+  patches_.clear();
+  acceptance_.clear();
+  for (const std::size_t arm : probes) {
+    const std::size_t count =
+        std::min(repair_.count_for_arm(arm), pool_->size());
+    patches_.push_back(sample_from_pool(pool_->mutations(), count, rng_));
+    acceptance_.push_back(rng_.uniform());
+  }
+  // Fold this cycle's draws into the trajectory fingerprint before the
+  // (order-free) evaluations, so the hash pins the stochastic sequence.
+  trajectory_hash_ = fnv_fold(trajectory_hash_, outcome_.iterations);
+  for (std::size_t j = 0; j < probes.size(); ++j) {
+    trajectory_hash_ = fnv_fold(trajectory_hash_, probes[j]);
+    trajectory_hash_ = fnv_fold(trajectory_hash_,
+                                std::bit_cast<std::uint64_t>(acceptance_[j]));
+    for (const Mutation& m : patches_[j]) {
+      trajectory_hash_ = fnv_fold(trajectory_hash_, m.key());
+    }
+  }
+
+  evaluations_.assign(patches_.size(), Evaluation{});    // parallel evaluation
+  if (workers != nullptr) {
+    workers->parallel_for_index(patches_.size(), [&](std::size_t j) {
+      evaluations_[j] = oracle_->evaluate(patches_[j]);
+    });
+  } else {
+    for (std::size_t j = 0; j < patches_.size(); ++j) {
+      evaluations_[j] = oracle_->evaluate(patches_[j]);
+    }
+  }
+  outcome_.probes += patches_.size();
+  probes_last_cycle_ = patches_.size();
+  probe_counter_->add(patches_.size());
+
+  rewards_.assign(probes.size(), 0.0);
+  for (std::size_t j = 0; j < patches_.size(); ++j) {
+    const Evaluation& e = evaluations_[j];
+    if (e.is_repair()) {                                 // terminate early
+      outcome_.repaired = true;
+      outcome_.patch = patches_[j];
+      outcome_.iterations += 1;
+      outcome_.preferred_count = patches_[j].size();
+      outcome_.arm_probabilities = strategy_->probabilities();
+      cycle_counter_->add(1);
+      trajectory_hash_ = fnv_fold(trajectory_hash_, 0x5245504152ull);  // tag
+      trajectory_hash_ = fnv_fold(trajectory_hash_, j);
+      online_seconds_ += cycle_timer.elapsed_seconds();
+      finish(true);
+      return true;
+    }
+    const bool fitness_kept = e.fitness() >= baseline_;
+    switch (cfg.reward) {
+      case RewardMode::kFitnessNonDecrease:
+        rewards_[j] = fitness_kept ? 1.0 : 0.0;
+        break;
+      case RewardMode::kSafeDensityProxy:
+        // Accept in proportion to the validated combination size, making
+        // E[reward | x] proportional to x * P(pass | x).
+        rewards_[j] =
+            (fitness_kept &&
+             acceptance_[j] <
+                 static_cast<double>(patches_[j].size()) / max_count)
+                ? 1.0
+                : 0.0;
+        break;
+    }
+  }
+  for (const double r : rewards_) {
+    trajectory_hash_ =
+        fnv_fold(trajectory_hash_, std::bit_cast<std::uint64_t>(r));
+  }
+  strategy_->update(probes, rewards_, rng_);             // MWU_Update
+  ++outcome_.iterations;
+  cycle_counter_->add(1);
+  online_seconds_ += cycle_timer.elapsed_seconds();
+
+  if (outcome_.iterations >= cfg.max_iterations) {
+    // Budget exhausted (Fig 6: return null).
+    outcome_.preferred_count = repair_.count_for_arm(strategy_->best_option());
+    outcome_.arm_probabilities = strategy_->probabilities();
+    finish(false);
+    return true;
+  }
+  return false;
+}
+
+RepairSession::State RepairSession::save() const {
+  if (done_)
+    throw std::logic_error("RepairSession::save: session already finished");
+  State state;
+  state.strategy = core::export_state(*strategy_);
+  state.rng_seed = rng_.seed();
+  state.rng_state = rng_.state();
+  state.iterations = outcome_.iterations;
+  state.probes = outcome_.probes;
+  state.trajectory_hash = trajectory_hash_;
+  return state;
+}
+
+void RepairSession::restore(const State& state) {
+  core::import_state(*strategy_, state.strategy);
+  rng_.restore(state.rng_seed, state.rng_state);
+  outcome_.iterations = state.iterations;
+  outcome_.probes = state.probes;
+  trajectory_hash_ = state.trajectory_hash;
+  done_ = false;
+}
+
+}  // namespace mwr::apr

@@ -1,0 +1,127 @@
+// Step-wise execution of the MWRepair online phase (Fig 6) — one update
+// cycle per step() call.
+//
+// MwRepair::run() is the right shape for a batch CLI but the wrong shape
+// for a server: a daemon multiplexing thousands of campaigns needs to
+// advance each search a few cycles at a time (deficit-round-robin
+// scheduling), checkpoint a search between cycles, and resume it after a
+// restart without replaying paid-for probes.  RepairSession is the same
+// algorithm unrolled into a resumable object: construct, call step()
+// until it returns true, read outcome().  MwRepair::run() is now a thin
+// loop over a session, so the two paths cannot diverge — every draw from
+// the RngStream happens in the same order as the historical monolithic
+// loop, making session-stepped trajectories bit-identical to run() (and
+// to every prior release).
+//
+// Checkpointing: save() captures everything the next cycle depends on —
+// MWU strategy state (core::export_state), the 256-bit RNG state, cycle /
+// probe counters, and the running trajectory hash.  restore() into a
+// freshly constructed session over the same oracle + pool continues the
+// search bit-identically (pinned by tests/test_serve.cpp).  Snapshots are
+// only meaningful at cycle boundaries, which is the only place step()
+// returns control.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apr/mwrepair.hpp"
+#include "apr/mutation_pool.hpp"
+#include "apr/test_oracle.hpp"
+#include "core/mwu.hpp"
+#include "obs/metrics.hpp"
+
+namespace mwr::parallel {
+class ThreadPool;
+}  // namespace mwr::parallel
+
+namespace mwr::apr {
+
+class RepairSession {
+ public:
+  /// Mid-search state between two update cycles; everything is plain
+  /// numbers so checkpoint writers can encode it losslessly.
+  struct State {
+    std::vector<double> strategy;          ///< core::export_state vector.
+    std::uint64_t rng_seed = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint64_t iterations = 0;          ///< completed update cycles.
+    std::uint64_t probes = 0;              ///< suite runs so far.
+    std::uint64_t trajectory_hash = 0;
+  };
+
+  /// `oracle` and `pool` must outlive the session.  When `prime` is true
+  /// (the single-tenant default) the pool's semantics are memoized into
+  /// the oracle cache up front, exactly as MwRepair::run() always did;
+  /// servers sharing one oracle across tenants pass false and prime once
+  /// centrally (re-priming with a diverged working pool would race
+  /// concurrent evaluations — see serve/oracle_hub.hpp).
+  RepairSession(const MwRepairConfig& config, const TestOracle& oracle,
+                const MutationPool& pool, bool prime = true);
+
+  /// Runs one MWU update cycle (sample -> probe -> reward -> update), or
+  /// finishes early when a probe repairs.  Returns true when the session
+  /// is done (repair found or iteration budget exhausted); further calls
+  /// are no-ops returning true.  `workers` optionally fans the suite runs
+  /// out (bit-identical for any worker count, as in MwRepair::run).
+  bool step(parallel::ThreadPool* workers = nullptr);
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  /// Valid once done(); partially filled (probes/iterations) before that.
+  [[nodiscard]] const RepairOutcome& outcome() const noexcept {
+    return outcome_;
+  }
+  /// Suite runs the most recent step() issued (per-cycle cost for
+  /// scheduler accounting and probe-latency math).
+  [[nodiscard]] std::size_t probes_last_cycle() const noexcept {
+    return probes_last_cycle_;
+  }
+  /// Running FNV-1a fold over every sampled arm, drawn patch, and reward
+  /// of the search so far — the bit-identity fingerprint the
+  /// checkpoint/resume tests compare.
+  [[nodiscard]] std::uint64_t trajectory_hash() const noexcept {
+    return trajectory_hash_;
+  }
+
+  [[nodiscard]] const MwRepairConfig& config() const noexcept {
+    return repair_.config();
+  }
+
+  /// Snapshot between cycles; callable only while !done().
+  [[nodiscard]] State save() const;
+  /// Restores a snapshot taken from an identically configured session
+  /// over the same (oracle, pool).  Throws std::invalid_argument on a
+  /// strategy-state shape mismatch.
+  void restore(const State& state);
+
+ private:
+  void finish(bool repaired);
+
+  MwRepair repair_;                  // validated/clamped config + arm grid.
+  const TestOracle* oracle_;
+  const MutationPool* pool_;
+  std::unique_ptr<core::MwuStrategy> strategy_;
+  util::RngStream rng_;
+  std::uint32_t baseline_;
+  bool done_ = false;
+  std::size_t probes_last_cycle_ = 0;
+  std::uint64_t trajectory_hash_;
+  RepairOutcome outcome_;
+  double online_seconds_ = 0.0;      // accumulated across steps.
+
+  // Scratch reused across cycles (same vectors the monolithic loop kept).
+  std::vector<Patch> patches_;
+  std::vector<double> acceptance_;
+  std::vector<Evaluation> evaluations_;
+  std::vector<double> rewards_;
+
+  // Global telemetry handles, fetched once (same names as MwRepair::run).
+  obs::Counter* cycle_counter_;
+  obs::Counter* probe_counter_;
+  obs::Histogram* cycle_seconds_;
+  obs::Histogram* phase_seconds_;
+  obs::Gauge* repaired_gauge_;
+};
+
+}  // namespace mwr::apr

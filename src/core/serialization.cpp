@@ -17,8 +17,9 @@ namespace mwr::core {
 
 namespace {
 constexpr const char* kMagic = "mwr-mwu-state v1";
+}  // namespace
 
-std::vector<double> state_of(const MwuStrategy& strategy) {
+std::vector<double> export_state(const MwuStrategy& strategy) {
   if (const auto* standard = dynamic_cast<const StandardMwu*>(&strategy)) {
     return standard->weights();
   }
@@ -40,7 +41,7 @@ std::vector<double> state_of(const MwuStrategy& strategy) {
   throw std::invalid_argument("save_state: unknown strategy type");
 }
 
-void restore(MwuStrategy& strategy, const std::vector<double>& state) {
+void import_state(MwuStrategy& strategy, const std::vector<double>& state) {
   if (auto* standard = dynamic_cast<StandardMwu*>(&strategy)) {
     standard->set_weights(state);
     return;
@@ -64,10 +65,9 @@ void restore(MwuStrategy& strategy, const std::vector<double>& state) {
   }
   throw std::invalid_argument("load_state: unknown strategy type");
 }
-}  // namespace
 
 void save_state(const MwuStrategy& strategy, std::ostream& os) {
-  const auto state = state_of(strategy);
+  const auto state = export_state(strategy);
   os << kMagic << "\n"
      << to_string(strategy.kind()) << " "
      << strategy.probabilities().size() << " " << state.size() << "\n"
@@ -95,7 +95,7 @@ void load_state(MwuStrategy& strategy, std::istream& is) {
   for (auto& v : state) {
     if (!(is >> v)) throw std::runtime_error("load_state: truncated state");
   }
-  restore(strategy, state);
+  import_state(strategy, state);
 }
 
 void save_state_file(const MwuStrategy& strategy, const std::string& path) {

@@ -41,6 +41,18 @@ void load_state(MwuStrategy& strategy, std::istream& is);
 void save_state_file(const MwuStrategy& strategy, const std::string& path);
 void load_state_file(MwuStrategy& strategy, const std::string& path);
 
+/// The strategy's learned state as a flat double vector — weights for the
+/// global-memory variants, the choice vector for Distributed.  This is the
+/// in-memory half of save_state/load_state, exposed so binary checkpoint
+/// writers (serve/checkpoint.hpp) can embed strategy state in wire frames
+/// without round-tripping through the text format.  Throws
+/// std::invalid_argument for unknown strategy types.
+[[nodiscard]] std::vector<double> export_state(const MwuStrategy& strategy);
+
+/// Restores a vector captured by export_state into a freshly constructed
+/// strategy of the same kind and shape.
+void import_state(MwuStrategy& strategy, const std::vector<double>& state);
+
 /// Encodes one Message as a self-delimiting versioned wire frame — byte-for
 /// byte what the shm-ring and UDS transports put on the wire for the same
 /// (message, dest, tracked) triple.  Deterministic: equal inputs produce

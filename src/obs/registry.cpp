@@ -45,25 +45,37 @@ void MetricsRegistry::reset() {
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
-JsonValue MetricsRegistry::to_json() const {
+namespace {
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return name.size() >= prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+JsonValue MetricsRegistry::to_json() const { return to_json_filtered(""); }
+
+JsonValue MetricsRegistry::to_json_filtered(const std::string& prefix) const {
   util::MutexLock lock(mutex_);
   JsonValue root = JsonValue::object();
   root.set("schema", "mwr-metrics-v1");
 
   JsonValue counters = JsonValue::object();
   for (const auto& [name, counter] : counters_) {
+    if (!has_prefix(name, prefix)) continue;
     counters.set(name, counter->value());
   }
   root.set("counters", std::move(counters));
 
   JsonValue gauges = JsonValue::object();
   for (const auto& [name, gauge] : gauges_) {
+    if (!has_prefix(name, prefix)) continue;
     gauges.set(name, gauge->value());
   }
   root.set("gauges", std::move(gauges));
 
   JsonValue histograms = JsonValue::object();
   for (const auto& [name, histogram] : histograms_) {
+    if (!has_prefix(name, prefix)) continue;
     JsonValue h = JsonValue::object();
     JsonValue le = JsonValue::array();
     for (const double bound : histogram->upper_bounds()) le.push_back(bound);

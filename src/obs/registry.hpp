@@ -23,6 +23,8 @@
 
 namespace mwr::obs {
 
+class ScopedMetrics;
+
 /// Thread-safe name -> metric map.  Lookups take a mutex (amortize them:
 /// fetch handles once, outside loops); the returned references are
 /// mutation-safe from any thread.  Counter/gauge/histogram names live in
@@ -66,6 +68,17 @@ class MetricsRegistry {
   /// failure.
   void write_json(const std::string& path) const;
 
+  /// Snapshot restricted to names starting with `prefix` (same shape as
+  /// to_json()).  The campaign server uses this with "campaign/<id>/" to
+  /// extract one tenant's view from the shared registry.
+  [[nodiscard]] JsonValue to_json_filtered(const std::string& prefix) const
+      MWR_EXCLUDES(mutex_);
+
+  /// A view over this registry that transparently prefixes every metric
+  /// name with "<prefix>/", giving one tenant an isolated namespace over
+  /// the shared map (same handles-stay-valid guarantees).
+  [[nodiscard]] ScopedMetrics scoped(const std::string& prefix);
+
   /// The process-wide registry all built-in instrumentation reports to.
   [[nodiscard]] static MetricsRegistry& global();
 
@@ -81,5 +94,51 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       MWR_GUARDED_BY(mutex_);
 };
+
+/// Per-tenant prefix view (MetricsRegistry::scoped).  Copyable and cheap;
+/// the underlying registry must outlive every view.  Names resolve to
+/// "<prefix>/<name>" in the parent, so a server multiplexing campaigns
+/// records "campaign/7/repair.online.probes" through the same lock-free
+/// handles as everything else, and to_json_filtered("campaign/7/")
+/// recovers the tenant's slice.
+class ScopedMetrics {
+ public:
+  ScopedMetrics(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {
+    if (prefix_.empty() || prefix_.back() != '/') prefix_ += '/';
+  }
+
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return registry_->counter(prefix_ + name);
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    return registry_->gauge(prefix_ + name);
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds) {
+    return registry_->histogram(prefix_ + name, std::move(upper_bounds));
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return registry_->histogram(prefix_ + name);
+  }
+
+  /// The tenant's snapshot slice.
+  [[nodiscard]] JsonValue to_json() const {
+    return registry_->to_json_filtered(prefix_);
+  }
+
+  [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+  [[nodiscard]] MetricsRegistry& registry() const noexcept {
+    return *registry_;
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string prefix_;  // always ends in '/'.
+};
+
+inline ScopedMetrics MetricsRegistry::scoped(const std::string& prefix) {
+  return ScopedMetrics(*this, prefix);
+}
 
 }  // namespace mwr::obs

@@ -63,7 +63,7 @@ std::size_t decode_frame(const std::uint8_t* data, std::size_t size,
     throw WireFormatError("version " + std::to_string(version) +
                           " (expected " + std::to_string(kWireVersion) + ")");
   const auto kind = get<std::uint8_t>(p);
-  if (kind > static_cast<std::uint8_t>(FrameKind::kShutdown))
+  if (kind > kMaxFrameKind)
     throw WireFormatError("unknown frame kind " + std::to_string(kind));
   out.kind = static_cast<FrameKind>(kind);
   out.tracked = get<std::uint8_t>(p) != 0;

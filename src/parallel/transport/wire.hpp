@@ -52,7 +52,18 @@ enum class FrameKind : std::uint8_t {
   kBarrierMarker = 2,  ///< "my ranks reached global phase `value`".
   kCycleMax = 3,       ///< my local per-cycle congestion max for `value`.
   kShutdown = 4,       ///< orderly end of this sender's stream.
+  // Campaign-server control plane (src/serve): additive kinds under the
+  // same version — old receivers never see them (the daemon speaks them
+  // only on its control socket), new receivers accept both generations.
+  kSubmit = 5,         ///< submit a campaign; payload = encoded request.
+  kStatus = 6,         ///< status query/report; value = campaign id.
+  kCheckpoint = 7,     ///< checkpoint section; value = section tag.
+  kResult = 8,         ///< campaign result; value = campaign id.
 };
+
+/// The highest FrameKind a decoder accepts (bump when adding kinds).
+inline constexpr std::uint8_t kMaxFrameKind =
+    static_cast<std::uint8_t>(FrameKind::kResult);
 
 struct WireFrame {
   FrameKind kind = FrameKind::kMessage;

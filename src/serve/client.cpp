@@ -1,0 +1,55 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+#include "serve/control_socket.hpp"
+
+namespace mwr::serve {
+
+using parallel::transport::FrameKind;
+using parallel::transport::WireFrame;
+
+ServeClient::ServeClient(const std::string& socket_path,
+                         int connect_timeout_ms)
+    : conn_(connect_control(socket_path, connect_timeout_ms)) {}
+
+ServeClient::~ServeClient() = default;
+
+WireFrame ServeClient::roundtrip(const WireFrame& request,
+                                 FrameKind expected) {
+  if (!conn_->send_frame(request))
+    throw std::runtime_error("ServeClient: daemon closed the connection");
+  std::optional<WireFrame> reply = conn_->recv_frame();
+  if (!reply)
+    throw std::runtime_error("ServeClient: daemon closed before replying");
+  if (reply->kind != expected)
+    throw std::runtime_error("ServeClient: mismatched reply kind");
+  return *std::move(reply);
+}
+
+SubmitReply ServeClient::submit(const SubmitRequest& request) {
+  return decode_submit_reply(
+      roundtrip(encode_submit_request(request), FrameKind::kSubmit));
+}
+
+StatusReply ServeClient::status(std::uint64_t campaign_id) {
+  return decode_status_reply(
+      roundtrip(encode_status_request(campaign_id), FrameKind::kStatus));
+}
+
+ResultReply ServeClient::result(std::uint64_t campaign_id) {
+  return decode_result_reply(
+      roundtrip(encode_result_request(campaign_id), FrameKind::kResult));
+}
+
+CheckpointReply ServeClient::checkpoint() {
+  return decode_checkpoint_reply(
+      roundtrip(encode_checkpoint_request(), FrameKind::kCheckpoint));
+}
+
+std::uint64_t ServeClient::shutdown() {
+  return decode_shutdown_reply(
+      roundtrip(encode_shutdown_request(), FrameKind::kShutdown));
+}
+
+}  // namespace mwr::serve

@@ -1,0 +1,48 @@
+// ServeClient: the typed request/reply view of a daemon connection.
+//
+// One method per control-plane verb, each a strict roundtrip (send one
+// request frame, block for the matching reply frame).  Used by the
+// load-generator bench (bench/bench_serve.cpp --connect), the CI serve
+// lane, and anything else that wants to drive mwr_served without
+// hand-rolling frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "serve/control.hpp"
+
+namespace mwr::serve {
+
+class ControlConn;
+
+class ServeClient {
+ public:
+  /// Connects to the daemon at `socket_path`, retrying while it boots.
+  /// Throws std::runtime_error on timeout.
+  explicit ServeClient(const std::string& socket_path,
+                       int connect_timeout_ms = 5000);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  [[nodiscard]] SubmitReply submit(const SubmitRequest& request);
+  [[nodiscard]] StatusReply status(std::uint64_t campaign_id);
+  [[nodiscard]] ResultReply result(std::uint64_t campaign_id);
+  [[nodiscard]] CheckpointReply checkpoint();
+  /// Asks the daemon to drain and exit; returns the campaigns that were
+  /// still resident when it accepted.
+  std::uint64_t shutdown();
+
+ private:
+  [[nodiscard]] parallel::transport::WireFrame roundtrip(
+      const parallel::transport::WireFrame& request,
+      parallel::transport::FrameKind expected);
+
+  std::unique_ptr<ControlConn> conn_;
+};
+
+}  // namespace mwr::serve

@@ -1,0 +1,226 @@
+#include "serve/control.hpp"
+
+#include <stdexcept>
+
+#include "serve/payload_codec.hpp"
+
+namespace mwr::serve {
+
+using parallel::transport::FrameKind;
+
+namespace {
+
+constexpr std::int32_t kRequest = 0;
+constexpr std::int32_t kReply = 1;
+
+WireFrame control_frame(FrameKind kind, std::int32_t direction,
+                        std::uint64_t value, std::vector<double> payload) {
+  WireFrame f;
+  f.kind = kind;
+  f.source = direction;
+  f.value = value;
+  f.payload = std::move(payload);
+  return f;
+}
+
+void expect(const WireFrame& frame, FrameKind kind, std::int32_t direction,
+            const char* what) {
+  if (frame.kind != kind)
+    throw std::runtime_error(std::string("serve control: ") + what +
+                             ": unexpected frame kind");
+  if (frame.source != direction)
+    throw std::runtime_error(std::string("serve control: ") + what +
+                             ": wrong direction");
+}
+
+void expect_drained(const PayloadReader& reader, const char* what) {
+  if (!reader.done())
+    throw std::runtime_error(std::string("serve control: ") + what +
+                             ": trailing payload");
+}
+
+}  // namespace
+
+CampaignPlan plan_campaign(const SubmitRequest& request) {
+  CampaignPlan plan;
+  plan.spec = datasets::scenario_by_name(request.scenario);
+  if (request.tests != 0) plan.spec.tests = request.tests;
+
+  apr::CampaignConfig& config = plan.config;
+  config.bugs = request.bugs;
+  config.grow_suite = request.grow_suite;
+  config.pool.target_size = request.pool_target;
+  config.pool.max_attempts = request.pool_attempts;
+  config.pool.seed = request.pool_seed;
+  config.pool.threads = 1;
+  if (request.mwu > static_cast<std::uint8_t>(core::MwuKind::kExp3))
+    throw std::invalid_argument("plan_campaign: unknown MWU kind index");
+  config.repair.mwu = static_cast<core::MwuKind>(request.mwu);
+  config.repair.arms = request.arms;
+  config.repair.max_count = request.max_count;
+  config.repair.agents = request.agents;
+  config.repair.max_iterations = request.max_iterations;
+  config.repair.seed = request.repair_seed;
+  config.repair.eval_threads = 1;
+  return plan;
+}
+
+WireFrame encode_submit_request(const SubmitRequest& request) {
+  PayloadWriter w;
+  w.str(request.scenario);
+  w.u64(request.bugs);
+  w.u64(request.tests);
+  w.u64(request.pool_target);
+  w.u64(request.pool_attempts);
+  w.u64(request.pool_seed);
+  w.u64(request.mwu);
+  w.u64(request.arms);
+  w.u64(request.max_count);
+  w.u64(request.agents);
+  w.u64(request.max_iterations);
+  w.u64(request.repair_seed);
+  w.boolean(request.grow_suite);
+  return control_frame(FrameKind::kSubmit, kRequest, 0, w.take());
+}
+
+SubmitRequest decode_submit_request(const WireFrame& frame) {
+  expect(frame, FrameKind::kSubmit, kRequest, "submit request");
+  PayloadReader r(frame.payload);
+  SubmitRequest request;
+  request.scenario = r.str();
+  request.bugs = static_cast<std::uint32_t>(r.u64());
+  request.tests = static_cast<std::uint32_t>(r.u64());
+  request.pool_target = static_cast<std::uint32_t>(r.u64());
+  request.pool_attempts = static_cast<std::uint32_t>(r.u64());
+  request.pool_seed = r.u64();
+  request.mwu = static_cast<std::uint8_t>(r.u64());
+  request.arms = static_cast<std::uint32_t>(r.u64());
+  request.max_count = static_cast<std::uint32_t>(r.u64());
+  request.agents = static_cast<std::uint32_t>(r.u64());
+  request.max_iterations = static_cast<std::uint32_t>(r.u64());
+  request.repair_seed = r.u64();
+  request.grow_suite = r.boolean();
+  expect_drained(r, "submit request");
+  return request;
+}
+
+WireFrame encode_submit_reply(const SubmitReply& reply) {
+  PayloadWriter w;
+  w.boolean(reply.accepted);
+  w.u64(reply.resident);
+  return control_frame(FrameKind::kSubmit, kReply, reply.campaign_id,
+                       w.take());
+}
+
+SubmitReply decode_submit_reply(const WireFrame& frame) {
+  expect(frame, FrameKind::kSubmit, kReply, "submit reply");
+  PayloadReader r(frame.payload);
+  SubmitReply reply;
+  reply.campaign_id = frame.value;
+  reply.accepted = r.boolean();
+  reply.resident = r.u64();
+  expect_drained(r, "submit reply");
+  return reply;
+}
+
+WireFrame encode_status_request(std::uint64_t campaign_id) {
+  return control_frame(FrameKind::kStatus, kRequest, campaign_id, {});
+}
+
+std::uint64_t decode_status_request(const WireFrame& frame) {
+  expect(frame, FrameKind::kStatus, kRequest, "status request");
+  return frame.value;
+}
+
+WireFrame encode_status_reply(std::uint64_t campaign_id,
+                              const StatusReply& reply) {
+  PayloadWriter w;
+  w.boolean(reply.known);
+  w.boolean(reply.done);
+  w.u64(reply.bug_index);
+  w.u64(reply.bugs_total);
+  w.u64(reply.online_cycles);
+  w.u64(reply.online_probes);
+  w.u64(reply.repaired);
+  w.u64(reply.trajectory_hash);
+  return control_frame(FrameKind::kStatus, kReply, campaign_id, w.take());
+}
+
+StatusReply decode_status_reply(const WireFrame& frame) {
+  expect(frame, FrameKind::kStatus, kReply, "status reply");
+  PayloadReader r(frame.payload);
+  StatusReply reply;
+  reply.known = r.boolean();
+  reply.done = r.boolean();
+  reply.bug_index = r.u64();
+  reply.bugs_total = r.u64();
+  reply.online_cycles = r.u64();
+  reply.online_probes = r.u64();
+  reply.repaired = r.u64();
+  reply.trajectory_hash = r.u64();
+  expect_drained(r, "status reply");
+  return reply;
+}
+
+WireFrame encode_result_request(std::uint64_t campaign_id) {
+  return control_frame(FrameKind::kResult, kRequest, campaign_id, {});
+}
+
+std::uint64_t decode_result_request(const WireFrame& frame) {
+  expect(frame, FrameKind::kResult, kRequest, "result request");
+  return frame.value;
+}
+
+WireFrame encode_result_reply(const ResultReply& reply) {
+  PayloadWriter w;
+  w.boolean(reply.ready);
+  w.str(reply.outcome_json);
+  return control_frame(FrameKind::kResult, kReply, reply.campaign_id,
+                       w.take());
+}
+
+ResultReply decode_result_reply(const WireFrame& frame) {
+  expect(frame, FrameKind::kResult, kReply, "result reply");
+  PayloadReader r(frame.payload);
+  ResultReply reply;
+  reply.campaign_id = frame.value;
+  reply.ready = r.boolean();
+  reply.outcome_json = r.str();
+  expect_drained(r, "result reply");
+  return reply;
+}
+
+WireFrame encode_checkpoint_request() {
+  return control_frame(FrameKind::kCheckpoint, kRequest, 0, {});
+}
+
+WireFrame encode_checkpoint_reply(const CheckpointReply& reply) {
+  PayloadWriter w;
+  w.u64(reply.campaigns);
+  return control_frame(FrameKind::kCheckpoint, kReply, reply.bytes, w.take());
+}
+
+CheckpointReply decode_checkpoint_reply(const WireFrame& frame) {
+  expect(frame, FrameKind::kCheckpoint, kReply, "checkpoint reply");
+  PayloadReader r(frame.payload);
+  CheckpointReply reply;
+  reply.bytes = frame.value;
+  reply.campaigns = r.u64();
+  expect_drained(r, "checkpoint reply");
+  return reply;
+}
+
+WireFrame encode_shutdown_request() {
+  return control_frame(FrameKind::kShutdown, kRequest, 0, {});
+}
+
+WireFrame encode_shutdown_reply(std::uint64_t remaining) {
+  return control_frame(FrameKind::kShutdown, kReply, remaining, {});
+}
+
+std::uint64_t decode_shutdown_reply(const WireFrame& frame) {
+  expect(frame, FrameKind::kShutdown, kReply, "shutdown reply");
+  return frame.value;
+}
+
+}  // namespace mwr::serve

@@ -1,0 +1,204 @@
+// The only file in src/serve allowed to touch raw IPC syscalls — see the
+// raw-ipc whitelist in tools/mwr_lint.py.  Keep every socket(2)-family
+// call here; the rest of the subsystem trades in WireFrames.
+#include "serve/control_socket.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mwr::serve {
+
+using parallel::transport::WireFrame;
+
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw std::runtime_error("serve control socket: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void fill_addr(const std::string& path, sockaddr_un& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path))
+    throw std::runtime_error("serve control socket: path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+}  // namespace
+
+ControlConn::ControlConn(int fd) : fd_(fd) {}
+
+ControlConn::~ControlConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ControlConn::send_frame(const WireFrame& frame) {
+  std::vector<std::uint8_t> bytes;
+  parallel::transport::encode_frame(frame, bytes);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      raise_errno("send");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ControlConn::fill_buffer(bool blocking) {
+  if (consumed_ == staged_.size()) {
+    staged_.clear();
+    consumed_ = 0;
+  }
+  const std::size_t old = staged_.size();
+  staged_.resize(old + kReadChunkBytes);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, staged_.data() + old, kReadChunkBytes,
+                             blocking ? 0 : MSG_DONTWAIT);
+    if (n > 0) {
+      staged_.resize(old + static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) {
+      staged_.resize(old);
+      return false;  // orderly EOF
+    }
+    if (errno == EINTR) continue;
+    if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      staged_.resize(old);
+      return true;  // nothing buffered right now
+    }
+    staged_.resize(old);
+    if (errno == ECONNRESET) return false;
+    raise_errno("recv");
+  }
+}
+
+std::optional<WireFrame> ControlConn::recv_frame() {
+  for (;;) {
+    WireFrame frame;
+    const std::size_t used = parallel::transport::decode_frame(
+        staged_.data() + consumed_, staged_.size() - consumed_, frame);
+    if (used != 0) {
+      consumed_ += used;
+      return frame;
+    }
+    if (!fill_buffer(/*blocking=*/true)) {
+      if (consumed_ != staged_.size())
+        throw std::runtime_error(
+            "serve control socket: EOF mid-frame (peer died)");
+      return std::nullopt;
+    }
+  }
+}
+
+bool ControlConn::pump(std::vector<WireFrame>& out) {
+  const bool alive = fill_buffer(/*blocking=*/false);
+  for (;;) {
+    WireFrame frame;
+    const std::size_t used = parallel::transport::decode_frame(
+        staged_.data() + consumed_, staged_.size() - consumed_, frame);
+    if (used == 0) break;
+    consumed_ += used;
+    out.push_back(std::move(frame));
+  }
+  return alive || consumed_ != staged_.size() || !out.empty();
+}
+
+ControlListener::ControlListener(const std::string& path) : path_(path) {
+  // SOCK_NONBLOCK on the listener makes accept_one() poll-friendly; the
+  // accepted connections themselves stay blocking.
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) raise_errno("socket");
+  ::unlink(path.c_str());  // stale socket from a killed daemon
+  sockaddr_un addr;
+  fill_addr(path, addr);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    raise_errno("bind " + path);
+  }
+  if (::listen(fd_, 128) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    raise_errno("listen " + path);
+  }
+}
+
+ControlListener::~ControlListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<ControlConn> ControlListener::accept_one() {
+  for (;;) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return std::make_unique<ControlConn>(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return nullptr;
+    raise_errno("accept");
+  }
+}
+
+bool ControlListener::wait_readable(const std::vector<ControlConn*>& conns,
+                                    int timeout_ms) const {
+  std::vector<pollfd> fds;
+  fds.reserve(conns.size() + 1);
+  fds.push_back(pollfd{fd_, POLLIN, 0});
+  for (const ControlConn* conn : conns)
+    fds.push_back(pollfd{conn->fd(), POLLIN, 0});
+  for (;;) {
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n >= 0) return n > 0;
+    if (errno == EINTR) continue;
+    raise_errno("poll");
+  }
+}
+
+std::unique_ptr<ControlConn> connect_control(const std::string& path,
+                                             int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) raise_errno("socket");
+    sockaddr_un addr;
+    fill_addr(path, addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return std::make_unique<ControlConn>(fd);
+    }
+    const int saved = errno;
+    ::close(fd);
+    // A daemon still booting shows up as "no such file" or a bound but
+    // not yet listening socket; retry until the deadline.
+    if ((saved == ENOENT || saved == ECONNREFUSED) &&
+        std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    errno = saved;
+    raise_errno("connect " + path);
+  }
+}
+
+}  // namespace mwr::serve

@@ -1,0 +1,89 @@
+// The campaign server's Unix-domain control socket.
+//
+// This header is plain C++ (fds as ints, no <sys/...> types); every raw
+// IPC syscall — socket/bind/listen/accept/connect/send/recv/poll — lives
+// in control_socket.cpp, the single file the raw-ipc lint rule
+// whitelists for src/serve.  Everything above this layer (serve/control,
+// serve/server, tools/mwr_served) speaks WireFrames only.
+//
+// Framing: the stream carries back-to-back MWRW frames.  ControlConn
+// accumulates bytes per connection and yields whole decoded frames;
+// partial frames stay staged until more bytes arrive (decode_frame's
+// zero-consumed contract).  Writes are blocking write-all with
+// MSG_NOSIGNAL so a vanished peer surfaces as an error, not SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parallel/transport/wire.hpp"
+
+namespace mwr::serve {
+
+/// One accepted (or connected) control-plane stream.
+class ControlConn {
+ public:
+  /// Takes ownership of `fd`.
+  explicit ControlConn(int fd);
+  ~ControlConn();
+
+  ControlConn(const ControlConn&) = delete;
+  ControlConn& operator=(const ControlConn&) = delete;
+
+  /// Blocking write-all of one encoded frame.  Returns false when the
+  /// peer is gone (EPIPE/ECONNRESET); throws on other errors.
+  bool send_frame(const parallel::transport::WireFrame& frame);
+
+  /// Blocks until one whole frame arrives; nullopt on orderly EOF.
+  /// Throws std::runtime_error on a mid-frame EOF or a socket error.
+  std::optional<parallel::transport::WireFrame> recv_frame();
+
+  /// Non-blocking drain: appends every frame currently decodable from
+  /// the kernel buffer to `out`.  Returns false when the peer closed.
+  bool pump(std::vector<parallel::transport::WireFrame>& out);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  bool fill_buffer(bool blocking);  ///< false on EOF.
+
+  int fd_;
+  std::vector<std::uint8_t> staged_;
+  std::size_t consumed_ = 0;
+};
+
+/// The daemon's listening socket.  Binding unlinks any stale socket file
+/// at `path` first; the destructor unlinks it again.
+class ControlListener {
+ public:
+  explicit ControlListener(const std::string& path);
+  ~ControlListener();
+
+  ControlListener(const ControlListener&) = delete;
+  ControlListener& operator=(const ControlListener&) = delete;
+
+  /// Accepts one pending connection, or nullptr when none is queued.
+  std::unique_ptr<ControlConn> accept_one();
+
+  /// Sleeps until the listener or one of `conns` is readable, or
+  /// `timeout_ms` elapses.  Returns true when anything is readable.
+  bool wait_readable(const std::vector<ControlConn*>& conns,
+                     int timeout_ms) const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+/// Client side: connects to a daemon's socket.  Retries for up to
+/// `timeout_ms` while the socket file does not exist yet (daemon still
+/// booting); throws std::runtime_error on timeout or refusal.
+std::unique_ptr<ControlConn> connect_control(const std::string& path,
+                                             int timeout_ms = 5000);
+
+}  // namespace mwr::serve

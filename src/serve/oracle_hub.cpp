@@ -1,0 +1,214 @@
+#include "serve/oracle_hub.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace mwr::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_fold(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_fold_string(std::uint64_t h, const std::string& s) noexcept {
+  h = fnv_fold(h, s.size());
+  for (const char c : s) h = fnv_fold(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t fnv_fold_double(std::uint64_t h, double v) noexcept {
+  return fnv_fold(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Identity of the *program*: every spec field except the bug targeted
+/// and the suite size.  Pools precomputed for any bug of the program can
+/// warm an oracle for any other bug of the same program (coverage,
+/// safety, and interference are program properties — the invariant the
+/// whole amortization story rests on).
+std::uint64_t program_fingerprint(const datasets::ScenarioSpec& spec) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_fold_string(h, spec.name);
+  h = fnv_fold_string(h, spec.language);
+  h = fnv_fold(h, spec.options);
+  h = fnv_fold(h, spec.statements);
+  h = fnv_fold_double(h, spec.coverage);
+  h = fnv_fold_double(h, spec.safe_rate);
+  h = fnv_fold_double(h, spec.repair_rate);
+  h = fnv_fold(h, spec.optimum);
+  h = fnv_fold(h, spec.min_repair_edits);
+  h = fnv_fold_double(h, spec.value_noise);
+  h = fnv_fold(h, spec.seed);
+  h = fnv_fold(h, spec.relevance_localized ? 1u : 0u);
+  return h;
+}
+
+/// Identity of one oracle: the program plus (suite size, bug).
+std::uint64_t oracle_fingerprint(const datasets::ScenarioSpec& spec) {
+  std::uint64_t h = program_fingerprint(spec);
+  h = fnv_fold(h, spec.tests);
+  h = fnv_fold(h, spec.bug_id);
+  return h;
+}
+
+/// Identity of one precomputed base pool: the oracle it was validated
+/// against plus the pool-shaping knobs.  `threads` is excluded — the
+/// precompute result is bit-identical for any worker count.
+std::uint64_t pool_fingerprint(const datasets::ScenarioSpec& spec,
+                               const apr::PoolConfig& config) {
+  std::uint64_t h = oracle_fingerprint(spec);
+  h = fnv_fold(h, config.target_size);
+  h = fnv_fold(h, config.max_attempts);
+  h = fnv_fold(h, config.seed);
+  return h;
+}
+
+}  // namespace
+
+OracleHub::OracleHub() {
+  auto& metrics = obs::MetricsRegistry::global();
+  oracle_builds_ = &metrics.counter("serve.hub.oracle_builds");
+  oracle_hits_ = &metrics.counter("serve.hub.oracle_hits");
+  pool_builds_ = &metrics.counter("serve.hub.pool_builds");
+  pool_hits_ = &metrics.counter("serve.hub.pool_hits");
+}
+
+OracleHub::Stats OracleHub::stats() const {
+  util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+apr::ScenarioServices::OracleLease OracleHub::oracle_for(
+    const datasets::ScenarioSpec& spec) {
+  const std::uint64_t key = oracle_fingerprint(spec);
+  std::shared_ptr<OracleEntry> entry;
+  std::shared_ptr<const apr::MutationPool> warm;
+  bool builder = false;
+  {
+    util::MutexLock lock(mutex_);
+    auto& slot = oracles_[key];
+    if (!slot) {
+      slot = std::make_shared<OracleEntry>();
+      builder = true;
+    }
+    entry = slot;
+    if (builder) {
+      // Prefer priming the fresh oracle from an interned base pool of
+      // the same program (phase 1 has usually run by now): one batch of
+      // cache inserts instead of per-tenant cold misses.
+      const std::uint64_t program = program_fingerprint(spec);
+      for (const auto& [pool_key, pool_slot] : pools_) {
+        (void)pool_key;
+        if (pool_slot.program_key == program && pool_slot.entry->ready &&
+            !pool_slot.entry->failed) {
+          warm = pool_slot.entry->lease.pool;
+          break;
+        }
+      }
+      ++stats_.oracle_builds;
+    } else {
+      while (!entry->ready) ready_cv_.wait(mutex_);
+      if (entry->failed)
+        throw std::runtime_error("OracleHub: oracle build failed for " +
+                                 spec.name);
+      ++stats_.oracle_hits;
+      oracle_hits_->add(1);
+      return entry->lease;
+    }
+  }
+
+  OracleLease lease;
+  try {
+    auto program = std::make_shared<const apr::ProgramModel>(spec);
+    auto oracle = std::make_shared<const apr::TestOracle>(*program);
+    // Nothing else can see this oracle until `ready` flips below, so the
+    // prime cannot race an evaluate().
+    if (warm) oracle->prime_cache(warm->mutations());
+    lease.program = std::move(program);
+    lease.oracle = std::move(oracle);
+    lease.shared = true;
+  } catch (...) {
+    util::MutexLock lock(mutex_);
+    entry->failed = true;
+    entry->ready = true;
+    ready_cv_.notify_all();
+    throw;
+  }
+  {
+    util::MutexLock lock(mutex_);
+    entry->lease = lease;
+    entry->ready = true;
+    ready_cv_.notify_all();
+  }
+  oracle_builds_->add(1);
+  return lease;
+}
+
+apr::ScenarioServices::PoolLease OracleHub::base_pool(
+    const datasets::ScenarioSpec& spec, const apr::PoolConfig& config) {
+  const std::uint64_t key = pool_fingerprint(spec, config);
+  std::shared_ptr<PoolEntry> entry;
+  bool builder = false;
+  {
+    util::MutexLock lock(mutex_);
+    PoolSlot& slot = pools_[key];
+    if (!slot.entry) {
+      slot.entry = std::make_shared<PoolEntry>();
+      slot.program_key = program_fingerprint(spec);
+      builder = true;
+    }
+    entry = slot.entry;
+    if (builder) {
+      ++stats_.pool_builds;
+    } else {
+      while (!entry->ready) ready_cv_.wait(mutex_);
+      if (entry->failed)
+        throw std::runtime_error("OracleHub: pool build failed for " +
+                                 spec.name);
+      ++stats_.pool_hits;
+      pool_hits_->add(1);
+      return entry->lease;
+    }
+  }
+
+  PoolLease lease;
+  try {
+    // The build uses a private oracle: precompute primes the oracle it is
+    // given, and priming a shared one would race other tenants' probes.
+    // The analytic identity (precompute suite runs == pool attempts)
+    // makes the private counter transferable to every tenant's ledger.
+    const apr::ProgramModel program(spec);
+    const apr::TestOracle oracle(program);
+    auto pool = std::make_shared<const apr::MutationPool>(
+        apr::MutationPool::precompute(oracle, config));
+    lease.pool = std::move(pool);
+    lease.precompute_runs = oracle.suite_runs();
+  } catch (...) {
+    util::MutexLock lock(mutex_);
+    entry->failed = true;
+    entry->ready = true;
+    ready_cv_.notify_all();
+    throw;
+  }
+  {
+    util::MutexLock lock(mutex_);
+    entry->lease = lease;
+    entry->ready = true;
+    ready_cv_.notify_all();
+  }
+  pool_builds_->add(1);
+  return lease;
+}
+
+}  // namespace mwr::serve

@@ -1,0 +1,62 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mwr::serve {
+
+DeficitScheduler::DeficitScheduler(std::size_t quantum,
+                                   std::size_t max_carry_quanta)
+    : quantum_(std::max<std::size_t>(1, quantum)),
+      max_deficit_(quantum_ * std::max<std::size_t>(1, max_carry_quanta)) {}
+
+void DeficitScheduler::admit(std::uint64_t id) {
+  const auto [it, inserted] = deficit_.emplace(id, 0);
+  (void)it;
+  if (!inserted)
+    throw std::invalid_argument("DeficitScheduler: campaign " +
+                                std::to_string(id) + " already resident");
+}
+
+void DeficitScheduler::remove(std::uint64_t id) {
+  deficit_.erase(id);
+  granted_.erase(id);
+}
+
+std::size_t DeficitScheduler::resident() const noexcept {
+  return deficit_.size();
+}
+
+std::vector<DeficitScheduler::Grant> DeficitScheduler::begin_epoch() {
+  granted_.clear();
+  std::vector<Grant> grants;
+  grants.reserve(deficit_.size());
+  for (auto& [id, deficit] : deficit_) {
+    deficit = std::min(max_deficit_, deficit + quantum_);
+    grants.push_back(Grant{id, deficit});
+    granted_.emplace(id, deficit);
+  }
+  return grants;
+}
+
+void DeficitScheduler::settle(std::uint64_t id, std::size_t used) {
+  const auto deficit = deficit_.find(id);
+  if (deficit == deficit_.end()) return;  // removed mid-epoch
+  const auto granted = granted_.find(id);
+  const std::size_t budget = granted == granted_.end() ? 0 : granted->second;
+  if (used > budget)
+    throw std::logic_error("DeficitScheduler: campaign " + std::to_string(id) +
+                           " consumed " + std::to_string(used) +
+                           " units against a budget of " +
+                           std::to_string(budget));
+  deficit->second = budget - used;
+  if (granted != granted_.end()) granted_.erase(granted);
+}
+
+std::size_t DeficitScheduler::deficit(std::uint64_t id) const {
+  const auto it = deficit_.find(id);
+  return it == deficit_.end() ? 0 : it->second;
+}
+
+}  // namespace mwr::serve

@@ -1,0 +1,250 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "apr/outcome_json.hpp"
+#include "obs/registry.hpp"
+#include "parallel/superstep.hpp"
+#include "serve/checkpoint.hpp"
+#include "util/timer.hpp"
+
+namespace mwr::serve {
+
+CampaignServer::CampaignServer(ServerConfig config)
+    : config_(std::move(config)),
+      scheduler_(config_.quantum) {
+  auto& metrics = obs::MetricsRegistry::global();
+  submitted_ = &metrics.counter("serve.submitted");
+  rejected_ = &metrics.counter("serve.admission_rejects");
+  completed_ = &metrics.counter("serve.completed");
+  epochs_counter_ = &metrics.counter("serve.epochs");
+  starved_counter_ = &metrics.counter("serve.starved_epochs");
+  checkpoint_bytes_ = &metrics.counter("serve.checkpoint_bytes");
+  resident_gauge_ = &metrics.gauge("serve.resident");
+  probe_seconds_ = &metrics.histogram("serve.probe_seconds");
+}
+
+CampaignServer::~CampaignServer() = default;
+
+std::optional<std::uint64_t> CampaignServer::submit(
+    const SubmitRequest& request) {
+  if (running_.size() >= config_.max_resident) {
+    rejected_->add(1);
+    return std::nullopt;
+  }
+  // Plan first: a malformed request must throw, not burn an id.
+  CampaignPlan plan = plan_campaign(request);
+  const std::uint64_t id = next_id_++;
+  Campaign campaign;
+  campaign.id = id;
+  campaign.request = request;
+  campaign.session = std::make_unique<apr::CampaignSession>(
+      std::move(plan.spec), plan.config, &hub_);
+  campaign.session->set_metric_scope("campaign/" + std::to_string(id));
+  running_.emplace(id, std::move(campaign));
+  scheduler_.admit(id);
+  submitted_->add(1);
+  resident_gauge_->set(static_cast<double>(running_.size()));
+  return id;
+}
+
+bool CampaignServer::run_epoch() {
+  const std::vector<DeficitScheduler::Grant> grants =
+      scheduler_.begin_epoch();
+  if (grants.empty()) return false;
+
+  // One fiber per granted campaign on a bounded worker pool.  Sessions
+  // are disjoint; the hub and the metrics registry synchronize
+  // internally; the maps are not mutated until the engine has joined.
+  std::vector<std::size_t> used(grants.size(), 0);
+  std::vector<std::size_t> probes(grants.size(), 0);
+  std::vector<double> seconds(grants.size(), 0.0);
+  parallel::SuperstepEngine engine(
+      grants.size(), parallel::SuperstepEngine::Config{config_.workers});
+  engine.run([&](int rank) {
+    const DeficitScheduler::Grant& grant =
+        grants[static_cast<std::size_t>(rank)];
+    apr::CampaignSession& session = *running_.at(grant.id).session;
+    const util::WallTimer timer;
+    used[static_cast<std::size_t>(rank)] = session.step(grant.budget, nullptr);
+    probes[static_cast<std::size_t>(rank)] = session.probes_last_step();
+    seconds[static_cast<std::size_t>(rank)] = timer.elapsed_seconds();
+  });
+
+  std::vector<std::uint64_t> retired;
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const DeficitScheduler::Grant& grant = grants[i];
+    scheduler_.settle(grant.id, used[i]);
+    Campaign& campaign = running_.at(grant.id);
+    campaign.online_cycles += used[i];
+    campaign.online_probes += probes[i];
+    if (probes[i] > 0) {
+      const double per_probe =
+          seconds[i] / static_cast<double>(probes[i]);
+      probe_latency_seconds_.push_back(per_probe);
+      probe_seconds_->observe(per_probe);
+    }
+    if (campaign.session->done()) {
+      retired.push_back(grant.id);
+    } else if (used[i] == 0) {
+      // DRR guarantees budget >= 1 and sessions consume >= 1 unit while
+      // unfinished, so this counter staying at zero is the no-starvation
+      // proof obligation CI checks.
+      ++starved_epochs_count_;
+      starved_counter_->add(1);
+    }
+  }
+
+  for (const std::uint64_t id : retired) {
+    Campaign campaign = std::move(running_.at(id));
+    running_.erase(id);
+    finish_campaign(std::move(campaign));
+  }
+
+  ++epochs_run_;
+  epochs_counter_->add(1);
+  resident_gauge_->set(static_cast<double>(running_.size()));
+  if (!config_.checkpoint_dir.empty() && config_.checkpoint_every != 0 &&
+      epochs_run_ % config_.checkpoint_every == 0 && !running_.empty()) {
+    checkpoint_all();
+  }
+  return true;
+}
+
+void CampaignServer::drain() {
+  while (run_epoch()) {
+  }
+}
+
+void CampaignServer::finish_campaign(Campaign&& campaign) {
+  const apr::CampaignOutcome& outcome = campaign.session->outcome();
+  // dump(2) + newline: byte-identical to what repair_tool --outcome-out
+  // writes for the same campaign (the one-schema satellite).
+  campaign.result_json = apr::outcome_to_json(outcome).dump(/*indent=*/2);
+  campaign.result_json += "\n";
+  campaign.final_hash = campaign.session->trajectory_hash();
+  campaign.repaired = outcome.repaired();
+  campaign.bugs_done = outcome.bugs.size();
+  campaign.session.reset();  // drop pool/lease memory; keep the ledger.
+  scheduler_.remove(campaign.id);
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ignored;
+    std::filesystem::remove(checkpoint_path(campaign.id), ignored);
+  }
+  completed_->add(1);
+  const std::uint64_t id = campaign.id;
+  finished_.emplace(id, std::move(campaign));
+}
+
+std::size_t CampaignServer::resident() const noexcept {
+  return running_.size();
+}
+
+std::size_t CampaignServer::completed() const noexcept {
+  return finished_.size();
+}
+
+void CampaignServer::fill_status(const Campaign& campaign,
+                                 StatusReply& reply) const {
+  reply.known = true;
+  reply.bugs_total = campaign.request.bugs;
+  reply.online_cycles = campaign.online_cycles;
+  reply.online_probes = campaign.online_probes;
+  if (campaign.session) {
+    reply.done = false;
+    reply.bug_index = campaign.session->bugs_completed();
+    reply.repaired = campaign.session->bugs_repaired();
+    reply.trajectory_hash = campaign.session->trajectory_hash();
+  } else {
+    reply.done = true;
+    reply.bug_index = campaign.bugs_done;
+    reply.repaired = campaign.repaired;
+    reply.trajectory_hash = campaign.final_hash;
+  }
+}
+
+StatusReply CampaignServer::status(std::uint64_t campaign_id) const {
+  StatusReply reply;
+  if (const auto it = running_.find(campaign_id); it != running_.end()) {
+    fill_status(it->second, reply);
+  } else if (const auto fin = finished_.find(campaign_id);
+             fin != finished_.end()) {
+    fill_status(fin->second, reply);
+  }
+  return reply;
+}
+
+ResultReply CampaignServer::result(std::uint64_t campaign_id) const {
+  ResultReply reply;
+  reply.campaign_id = campaign_id;
+  if (const auto it = finished_.find(campaign_id); it != finished_.end()) {
+    reply.ready = true;
+    reply.outcome_json = it->second.result_json;
+  }
+  return reply;
+}
+
+std::string CampaignServer::checkpoint_path(std::uint64_t campaign_id) const {
+  return config_.checkpoint_dir + "/campaign-" + std::to_string(campaign_id) +
+         ".ckpt";
+}
+
+CheckpointReply CampaignServer::checkpoint_all() {
+  if (config_.checkpoint_dir.empty())
+    throw std::logic_error("CampaignServer: no checkpoint_dir configured");
+  std::filesystem::create_directories(config_.checkpoint_dir);
+  CheckpointReply reply;
+  for (const auto& [id, campaign] : running_) {
+    CampaignCheckpoint checkpoint;
+    checkpoint.campaign_id = id;
+    checkpoint.request = campaign.request;
+    checkpoint.snapshot = campaign.session->snapshot();
+    reply.bytes += write_checkpoint_file(checkpoint, checkpoint_path(id));
+    ++reply.campaigns;
+  }
+  checkpoint_bytes_->add(reply.bytes);
+  return reply;
+}
+
+std::size_t CampaignServer::restore_from_dir() {
+  if (config_.checkpoint_dir.empty())
+    throw std::logic_error("CampaignServer: no checkpoint_dir configured");
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.checkpoint_dir, ec)) {
+    if (entry.path().extension() == ".ckpt") files.push_back(entry.path());
+  }
+  if (ec) return 0;  // missing directory: nothing to restore.
+  std::sort(files.begin(), files.end());
+
+  std::size_t restored = 0;
+  for (const std::filesystem::path& path : files) {
+    CampaignCheckpoint checkpoint = read_checkpoint_file(path.string());
+    CampaignPlan plan = plan_campaign(checkpoint.request);
+    Campaign campaign;
+    campaign.id = checkpoint.campaign_id;
+    campaign.request = checkpoint.request;
+    campaign.session =
+        apr::CampaignSession::resume(checkpoint.snapshot, std::move(plan.spec),
+                                     plan.config, &hub_);
+    campaign.session->set_metric_scope("campaign/" +
+                                       std::to_string(campaign.id));
+    next_id_ = std::max(next_id_, campaign.id + 1);
+    if (campaign.session->done()) {
+      finish_campaign(std::move(campaign));
+    } else {
+      const std::uint64_t id = campaign.id;
+      running_.emplace(id, std::move(campaign));
+      scheduler_.admit(id);
+    }
+    ++restored;
+  }
+  resident_gauge_->set(static_cast<double>(running_.size()));
+  return restored;
+}
+
+}  // namespace mwr::serve

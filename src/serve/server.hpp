@@ -1,0 +1,161 @@
+// CampaignServer: multiplexes many concurrent repair campaigns over one
+// bounded superstep engine.
+//
+// Execution model — repair-as-a-service:
+//
+//   submit()     admission control: a campaign is admitted while the
+//                resident count is below the configured cap, planned via
+//                plan_campaign(), given "campaign/<id>/" scoped metrics,
+//                and registered with the deficit-round-robin scheduler.
+//   run_epoch()  one scheduling epoch: the DRR scheduler grants every
+//                resident campaign a unit budget, and a one-shot
+//                SuperstepEngine runs one fiber per granted campaign —
+//                each fiber advances its CampaignSession by at most its
+//                budget.  Thousands of campaigns co-schedule on a
+//                bounded worker pool (fibers are cheap; workers are
+//                cores), cross-campaign probes dedup through the shared
+//                OracleHub, and the per-fiber wall time is attributed to
+//                per-probe latency telemetry.  Campaigns that finish are
+//                retired: result JSON rendered (the same
+//                mwr-campaign-outcome-v1 document repair_tool emits),
+//                scheduler slot released, checkpoint file removed.
+//   checkpoint_all() / restore_from_dir()
+//                durability: every resident campaign's snapshot is
+//                written through serve/checkpoint.hpp; a fresh daemon
+//                reloads the directory and resumes every campaign
+//                bit-identically (the trajectory-hash pin).
+//
+// The server itself is single-threaded: submit/run_epoch/checkpoint are
+// called from the daemon's control loop, never concurrently.  The only
+// intra-epoch concurrency is the engine's fibers, which touch disjoint
+// sessions plus the internally-synchronized hub and metrics registry.
+//
+// Fairness telemetry: serve.starved_epochs counts campaigns that ended
+// an epoch with zero units consumed while unfinished.  The DRR invariant
+// (every resident campaign gets budget >= 1 every epoch, and sessions
+// always consume >= 1 unit when budgeted) keeps it at exactly zero; CI
+// asserts that on every serve-lane run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apr/campaign_session.hpp"
+#include "serve/control.hpp"
+#include "serve/oracle_hub.hpp"
+#include "serve/scheduler.hpp"
+
+namespace mwr::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace mwr::obs
+
+namespace mwr::serve {
+
+struct ServerConfig {
+  std::size_t max_resident = 256;   ///< admission-control cap.
+  std::size_t quantum = 8;          ///< DRR work units per campaign-epoch.
+  std::size_t workers = 0;          ///< engine workers; 0 = hardware.
+  std::string checkpoint_dir;       ///< empty = durability disabled.
+  std::size_t checkpoint_every = 0; ///< epochs between auto-checkpoints;
+                                    ///< 0 = only explicit checkpoint_all().
+};
+
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerConfig config);
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  /// Admission control: returns the campaign id, or nullopt when the
+  /// resident cap is reached.  Throws std::invalid_argument for a
+  /// malformed request (unknown scenario / MWU kind).
+  std::optional<std::uint64_t> submit(const SubmitRequest& request);
+
+  /// Runs one DRR epoch over the resident campaigns.  Returns false when
+  /// there was nothing to run.
+  bool run_epoch();
+
+  /// Steps epochs until every resident campaign has finished.
+  void drain();
+
+  [[nodiscard]] std::size_t resident() const noexcept;
+  [[nodiscard]] std::size_t completed() const noexcept;
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_run_; }
+  /// Campaign-epochs that made zero progress (the starvation monitor;
+  /// invariantly 0 under DRR).
+  [[nodiscard]] std::uint64_t starved_epochs() const noexcept {
+    return starved_epochs_count_;
+  }
+
+  [[nodiscard]] StatusReply status(std::uint64_t campaign_id) const;
+  /// Result JSON for a finished campaign (ready=false while running or
+  /// for unknown ids).
+  [[nodiscard]] ResultReply result(std::uint64_t campaign_id) const;
+
+  /// Per-fiber wall seconds divided by probes issued, one sample per
+  /// campaign-epoch that issued probes — the distribution behind the
+  /// bench's p50/p99 probe latency.
+  [[nodiscard]] const std::vector<double>& probe_latency_seconds()
+      const noexcept {
+    return probe_latency_seconds_;
+  }
+
+  /// Writes every resident campaign's checkpoint; returns the reply the
+  /// control plane sends (bytes written, campaigns covered).  Throws
+  /// std::logic_error when no checkpoint_dir is configured.
+  CheckpointReply checkpoint_all();
+  /// Loads every "*.ckpt" in checkpoint_dir and resumes the campaigns;
+  /// returns how many were restored.
+  std::size_t restore_from_dir();
+
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const OracleHub& hub() const noexcept { return hub_; }
+
+ private:
+  struct Campaign {
+    std::uint64_t id = 0;
+    SubmitRequest request;
+    std::unique_ptr<apr::CampaignSession> session;
+    std::string result_json;        ///< rendered at completion.
+    std::uint64_t final_hash = 0;
+    std::uint64_t online_cycles = 0;
+    std::uint64_t online_probes = 0;
+    std::uint64_t repaired = 0;   ///< filled at completion.
+    std::uint64_t bugs_done = 0;  ///< filled at completion.
+  };
+
+  void finish_campaign(Campaign&& campaign);
+  void fill_status(const Campaign& campaign, StatusReply& reply) const;
+  [[nodiscard]] std::string checkpoint_path(std::uint64_t campaign_id) const;
+
+  ServerConfig config_;
+  OracleHub hub_;
+  DeficitScheduler scheduler_;
+  std::map<std::uint64_t, Campaign> running_;
+  std::map<std::uint64_t, Campaign> finished_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t epochs_run_ = 0;
+  std::uint64_t starved_epochs_count_ = 0;
+  std::vector<double> probe_latency_seconds_;
+
+  obs::Counter* submitted_;
+  obs::Counter* rejected_;
+  obs::Counter* completed_;
+  obs::Counter* epochs_counter_;
+  obs::Counter* starved_counter_;
+  obs::Counter* checkpoint_bytes_;
+  obs::Gauge* resident_gauge_;
+  obs::Histogram* probe_seconds_;
+};
+
+}  // namespace mwr::serve

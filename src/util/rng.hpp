@@ -69,6 +69,16 @@ class Xoshiro256StarStar {
     return result;
   }
 
+  /// The raw 256-bit state, for checkpointing a mid-run generator.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  /// Restores a state captured by state(); the next draw continues the
+  /// captured sequence exactly.
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
@@ -159,6 +169,18 @@ class RngStream {
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) out.push_back(split());
     return out;
+  }
+
+  /// Mid-run checkpoint: the generator's 256-bit state plus the original
+  /// seed (kept so provenance survives a restore).  Restoring continues the
+  /// draw sequence bit-identically from the capture point.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return gen_.state();
+  }
+  void restore(std::uint64_t seed,
+               const std::array<std::uint64_t, 4>& state) noexcept {
+    seed_ = seed;
+    gen_.set_state(state);
   }
 
  private:

@@ -1,0 +1,33 @@
+// Fixture: the raw-ipc whitelist for the campaign server covers exactly
+// one file — src/serve/control_socket.cpp.  A naked socket anywhere else
+// in src/serve (here, a hypothetical side-channel in the server proper)
+// must still be a finding: the subsystem's control plane funnels every
+// byte through that one audited seam.
+extern "C" {
+int socket(int, int, int);
+int bind(int, const void*, unsigned int);
+int listen(int, int);
+int connect(int, const void*, unsigned int);
+long read(int, void*, unsigned long);
+}
+
+namespace fixture::serve {
+
+int open_side_channel() {
+  const int fd = socket(1, 1, 0);  // finding
+  bind(fd, nullptr, 0);            // finding
+  listen(fd, 8);                   // finding
+  return fd;
+}
+
+int dial_peer_daemon() {
+  const int fd = socket(1, 1, 0);  // finding
+  connect(fd, nullptr, 0);         // finding
+  return fd;
+}
+
+long scrape_fd(int fd, void* buf, unsigned long n) {
+  return ::read(fd, buf, n);  // finding
+}
+
+}  // namespace fixture::serve

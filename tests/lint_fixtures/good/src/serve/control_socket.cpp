@@ -1,0 +1,28 @@
+// Fixture: src/serve/control_socket.cpp is whitelisted BY EXACT FILENAME
+// for the raw-ipc rule — it is the campaign server's one audited socket
+// seam.  This stand-in uses the banned vocabulary and must lint clean
+// with zero suppressions; its siblings under src/serve/ enjoy no such
+// liberty (see bad/raw-ipc-serve/).
+extern "C" {
+int socket(int, int, int);
+int bind(int, const void*, unsigned int);
+int listen(int, int);
+int connect(int, const void*, unsigned int);
+}
+
+namespace fixture::serve {
+
+int listen_control(const char* /*path*/) {
+  const int fd = socket(1, 1, 0);
+  bind(fd, nullptr, 0);
+  listen(fd, 128);
+  return fd;
+}
+
+int dial_control(const char* /*path*/) {
+  const int fd = socket(1, 1, 0);
+  connect(fd, nullptr, 0);
+  return fd;
+}
+
+}  // namespace fixture::serve

@@ -1,0 +1,531 @@
+// The campaign server, end to end (minus the socket — that layer is
+// tests/test_serve_control.cpp): payload/checkpoint codecs, DRR
+// fairness invariants, multi-tenant multiplexing over the oracle hub,
+// and the headline durability pin — checkpoint, kill, resume, and the
+// trajectory hash is bit-identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apr/campaign.hpp"
+#include "apr/campaign_session.hpp"
+#include "apr/outcome_json.hpp"
+#include "obs/registry.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/control.hpp"
+#include "serve/oracle_hub.hpp"
+#include "serve/payload_codec.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+
+namespace mwr::serve {
+namespace {
+
+// A small but real campaign over a named scenario: completes in tens of
+// milliseconds yet exercises precompute, revalidation, and online MWU.
+SubmitRequest small_request(const std::string& scenario,
+                            std::uint64_t seed) {
+  SubmitRequest request;
+  request.scenario = scenario;
+  request.bugs = 2;
+  request.pool_target = 150;
+  request.pool_attempts = 10000;
+  request.pool_seed = 11;
+  request.arms = 16;
+  request.agents = 4;
+  request.max_count = 128;
+  request.max_iterations = 60;
+  request.repair_seed = seed;
+  return request;
+}
+
+// --- payload codec ------------------------------------------------------
+
+TEST(PayloadCodec, RoundTripsScalarsStringsAndExtremes) {
+  PayloadWriter w;
+  w.u64(0);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.u64(0x123456789abcdef0ull);
+  w.f64(-0.0);
+  w.f64(1.0 / 3.0);
+  w.boolean(true);
+  w.str("");
+  w.str("gzip-2009-08-16 \x01\x7f");
+  const std::vector<double> payload = w.take();
+
+  PayloadReader r(payload);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.u64(), 0x123456789abcdef0ull);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "gzip-2009-08-16 \x01\x7f");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(PayloadCodec, ThrowsOnTruncationAndMalformedHalves) {
+  PayloadReader empty({});
+  EXPECT_THROW((void)empty.u64(), std::runtime_error);
+
+  const std::vector<double> bad_half = {1.5, 0.0};
+  PayloadReader r(bad_half);
+  EXPECT_THROW((void)r.u64(), std::runtime_error);
+
+  PayloadWriter w;
+  w.u64(100);  // announces a 100-char string that is not there
+  PayloadReader s(w.take());
+  EXPECT_THROW((void)s.str(), std::runtime_error);
+}
+
+// --- control-plane codecs -----------------------------------------------
+
+TEST(ControlCodec, SubmitRoundTrip) {
+  SubmitRequest request = small_request("Closure13", 99);
+  request.tests = 24;
+  request.mwu = 3;
+  request.grow_suite = false;
+  const SubmitRequest decoded =
+      decode_submit_request(encode_submit_request(request));
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(ControlCodec, RepliesRoundTrip) {
+  const SubmitReply submit{true, 42, 17};
+  EXPECT_EQ(decode_submit_reply(encode_submit_reply(submit)), submit);
+
+  StatusReply status;
+  status.known = true;
+  status.bug_index = 3;
+  status.bugs_total = 5;
+  status.online_cycles = 123;
+  status.online_probes = 4567;
+  status.repaired = 2;
+  status.trajectory_hash = 0xfeedfacecafebeefull;
+  EXPECT_EQ(decode_status_reply(encode_status_reply(9, status)), status);
+
+  ResultReply result;
+  result.ready = true;
+  result.campaign_id = 7;
+  result.outcome_json = "{\"schema\": \"mwr-campaign-outcome-v1\"}\n";
+  EXPECT_EQ(decode_result_reply(encode_result_reply(result)), result);
+
+  const CheckpointReply checkpoint{8192, 3};
+  EXPECT_EQ(decode_checkpoint_reply(encode_checkpoint_reply(checkpoint)),
+            checkpoint);
+
+  EXPECT_EQ(decode_shutdown_reply(encode_shutdown_reply(12)), 12u);
+}
+
+TEST(ControlCodec, RejectsWrongDirectionAndKind) {
+  const auto request = encode_submit_request(SubmitRequest{});
+  EXPECT_THROW((void)decode_submit_reply(request), std::runtime_error);
+  EXPECT_THROW((void)decode_status_request(request), std::runtime_error);
+}
+
+TEST(ControlCodec, PlanForcesSingleThreadedPhases) {
+  SubmitRequest request = small_request("Math8", 5);
+  const CampaignPlan plan = plan_campaign(request);
+  EXPECT_EQ(plan.spec.name, "Math8");
+  EXPECT_EQ(plan.config.pool.threads, 1u);
+  EXPECT_EQ(plan.config.repair.eval_threads, 1u);
+  EXPECT_EQ(plan.config.bugs, 2u);
+
+  request.scenario = "no-such-program";
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+}
+
+// --- deficit-round-robin scheduler --------------------------------------
+
+TEST(DeficitScheduler, EveryResidentCampaignIsGrantedEveryEpoch) {
+  DeficitScheduler scheduler(/*quantum=*/4);
+  scheduler.admit(3);
+  scheduler.admit(1);
+  scheduler.admit(2);
+  const auto grants = scheduler.begin_epoch();
+  ASSERT_EQ(grants.size(), 3u);
+  // Deterministic ascending-id order, every budget >= quantum >= 1.
+  EXPECT_EQ(grants[0].id, 1u);
+  EXPECT_EQ(grants[1].id, 2u);
+  EXPECT_EQ(grants[2].id, 3u);
+  for (const auto& grant : grants) EXPECT_GE(grant.budget, 4u);
+}
+
+TEST(DeficitScheduler, DeficitCarriesOverAndIsCapped) {
+  DeficitScheduler scheduler(/*quantum=*/4, /*max_carry_quanta=*/2);
+  scheduler.admit(1);
+  // Consume nothing for many epochs: deficit accrues but caps at 2 quanta.
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const auto grants = scheduler.begin_epoch();
+    ASSERT_EQ(grants.size(), 1u);
+    scheduler.settle(1, 0);
+  }
+  const auto grants = scheduler.begin_epoch();
+  EXPECT_EQ(grants[0].budget, 8u);  // capped, not 24
+  // Full consumption resets the deficit.
+  scheduler.settle(1, 8);
+  EXPECT_EQ(scheduler.deficit(1), 0u);
+}
+
+TEST(DeficitScheduler, BoundsOveruseAndDuplicateAdmission) {
+  DeficitScheduler scheduler(/*quantum=*/2);
+  scheduler.admit(1);
+  EXPECT_THROW(scheduler.admit(1), std::invalid_argument);
+  (void)scheduler.begin_epoch();
+  EXPECT_THROW(scheduler.settle(1, 99), std::logic_error);
+  scheduler.remove(1);
+  EXPECT_EQ(scheduler.resident(), 0u);
+  scheduler.settle(1, 5);  // unknown id: ignored, not fatal
+}
+
+// --- session refactor identity ------------------------------------------
+
+TEST(CampaignSessionServe, BudgetPartitioningDoesNotChangeTheTrajectory) {
+  const CampaignPlan plan = plan_campaign(small_request("units", 21));
+
+  apr::CampaignSession one_shot(plan.spec, plan.config);
+  while (!one_shot.done())
+    (void)one_shot.step(std::numeric_limits<std::size_t>::max());
+
+  apr::CampaignSession drip(plan.spec, plan.config);
+  while (!drip.done()) (void)drip.step(1);
+
+  apr::CampaignSession chunked(plan.spec, plan.config);
+  while (!chunked.done()) (void)chunked.step(3);
+
+  EXPECT_EQ(one_shot.trajectory_hash(), drip.trajectory_hash());
+  EXPECT_EQ(one_shot.trajectory_hash(), chunked.trajectory_hash());
+  EXPECT_EQ(apr::outcome_to_json(one_shot.outcome()).dump(2),
+            apr::outcome_to_json(drip.outcome()).dump(2));
+}
+
+// --- checkpoint codec ---------------------------------------------------
+
+TEST(Checkpoint, CodecRoundTripsAMidCampaignSnapshot) {
+  const SubmitRequest request = small_request("libtiff-2005-12-14", 31);
+  const CampaignPlan plan = plan_campaign(request);
+  apr::CampaignSession session(plan.spec, plan.config);
+  // Step past precompute and into the online phase so the snapshot
+  // carries a working pool and live RNG/MWU state.
+  for (int i = 0; i < 8 && !session.done(); ++i) (void)session.step(1);
+
+  CampaignCheckpoint checkpoint;
+  checkpoint.campaign_id = 77;
+  checkpoint.request = request;
+  checkpoint.snapshot = session.snapshot();
+  ASSERT_TRUE(checkpoint.snapshot.has_repair_state);
+
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  const CampaignCheckpoint decoded = decode_checkpoint(bytes);
+
+  EXPECT_EQ(decoded.campaign_id, 77u);
+  EXPECT_EQ(decoded.request, request);
+  const apr::CampaignSnapshot& a = checkpoint.snapshot;
+  const apr::CampaignSnapshot& b = decoded.snapshot;
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.phase, b.phase);
+  EXPECT_EQ(a.bug_index, b.bug_index);
+  EXPECT_EQ(a.current_tests, b.current_tests);
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
+  EXPECT_EQ(a.working_pool, b.working_pool);
+  EXPECT_EQ(a.repair.rng_state, b.repair.rng_state);
+  EXPECT_EQ(a.repair.strategy, b.repair.strategy);  // bit-exact doubles
+  EXPECT_EQ(a.repair.iterations, b.repair.iterations);
+}
+
+TEST(Checkpoint, DecoderRejectsCorruption) {
+  CampaignCheckpoint checkpoint;
+  checkpoint.campaign_id = 1;
+  checkpoint.request = small_request("units", 1);
+  std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  EXPECT_THROW(
+      (void)decode_checkpoint({bytes.data(), bytes.size() / 2}),
+      std::runtime_error);
+  bytes[bytes.size() - 1] ^= 0xff;
+  EXPECT_THROW((void)decode_checkpoint(bytes), std::runtime_error);
+}
+
+// --- the durability pin: kill mid-campaign, resume, identical hash ------
+
+TEST(Checkpoint, ResumeIsBitIdenticalToUninterruptedAtEverySeed) {
+  for (const std::uint64_t seed : {2ull, 29ull, 303ull}) {
+    const SubmitRequest request = small_request("gzip-2009-09-26", seed);
+    const CampaignPlan plan = plan_campaign(request);
+
+    apr::CampaignSession uninterrupted(plan.spec, plan.config);
+    while (!uninterrupted.done())
+      (void)uninterrupted.step(std::numeric_limits<std::size_t>::max());
+
+    // Run N units, snapshot ("the daemon died after cycle N"), resume a
+    // fresh session from the snapshot, and finish.
+    apr::CampaignSession first_life(plan.spec, plan.config);
+    for (int i = 0; i < 6 && !first_life.done(); ++i)
+      (void)first_life.step(1);
+    const std::vector<std::uint8_t> bytes = encode_checkpoint(
+        {/*campaign_id=*/1, request, first_life.snapshot()});
+
+    const CampaignCheckpoint loaded = decode_checkpoint(bytes);
+    const CampaignPlan replan = plan_campaign(loaded.request);
+    const std::unique_ptr<apr::CampaignSession> second_life =
+        apr::CampaignSession::resume(loaded.snapshot, replan.spec,
+                                     replan.config);
+    while (!second_life->done())
+      (void)second_life->step(std::numeric_limits<std::size_t>::max());
+
+    EXPECT_EQ(second_life->trajectory_hash(), uninterrupted.trajectory_hash())
+        << "seed " << seed;
+    EXPECT_EQ(apr::outcome_to_json(second_life->outcome()).dump(2),
+              apr::outcome_to_json(uninterrupted.outcome()).dump(2))
+        << "seed " << seed;
+  }
+}
+
+TEST(Checkpoint, ResumeRejectsTheWrongCampaignDefinition) {
+  const SubmitRequest request = small_request("units", 3);
+  const CampaignPlan plan = plan_campaign(request);
+  apr::CampaignSession session(plan.spec, plan.config);
+  (void)session.step(1);
+  const apr::CampaignSnapshot snapshot = session.snapshot();
+
+  CampaignPlan other = plan_campaign(small_request("Math80", 3));
+  EXPECT_THROW((void)apr::CampaignSession::resume(snapshot, other.spec,
+                                                  other.config),
+               std::invalid_argument);
+}
+
+// --- oracle hub ---------------------------------------------------------
+
+TEST(OracleHub, SharesPoolsAndOraclesAcrossTenants) {
+  OracleHub hub;
+  const CampaignPlan plan = plan_campaign(small_request("units", 8));
+
+  const auto pool_a = hub.base_pool(plan.spec, plan.config.pool);
+  const auto pool_b = hub.base_pool(plan.spec, plan.config.pool);
+  EXPECT_EQ(pool_a.pool.get(), pool_b.pool.get());
+  EXPECT_GT(pool_a.precompute_runs, 0u);
+  EXPECT_EQ(pool_a.precompute_runs, pool_b.precompute_runs);
+
+  datasets::ScenarioSpec bug = plan.spec;
+  bug.bug_id = 0;
+  const auto lease_a = hub.oracle_for(bug);
+  const auto lease_b = hub.oracle_for(bug);
+  EXPECT_TRUE(lease_a.shared);
+  EXPECT_EQ(lease_a.oracle.get(), lease_b.oracle.get());
+
+  bug.bug_id = 1;  // a different bug is a different oracle
+  const auto lease_c = hub.oracle_for(bug);
+  EXPECT_NE(lease_a.oracle.get(), lease_c.oracle.get());
+
+  const OracleHub::Stats stats = hub.stats();
+  EXPECT_EQ(stats.pool_builds, 1u);
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.oracle_builds, 2u);
+  EXPECT_EQ(stats.oracle_hits, 1u);
+}
+
+TEST(OracleHub, SharedServicesPreserveTheSingleTenantTrajectory) {
+  const CampaignPlan plan = plan_campaign(small_request("Chart26", 13));
+
+  apr::CampaignSession isolated(plan.spec, plan.config);
+  while (!isolated.done())
+    (void)isolated.step(std::numeric_limits<std::size_t>::max());
+
+  OracleHub hub;
+  apr::CampaignSession tenant_a(plan.spec, plan.config, &hub);
+  apr::CampaignSession tenant_b(plan.spec, plan.config, &hub);
+  while (!tenant_a.done())
+    (void)tenant_a.step(std::numeric_limits<std::size_t>::max());
+  while (!tenant_b.done())
+    (void)tenant_b.step(std::numeric_limits<std::size_t>::max());
+
+  // Shared oracles and pools must not perturb the search or the ledger.
+  EXPECT_EQ(tenant_a.trajectory_hash(), isolated.trajectory_hash());
+  EXPECT_EQ(tenant_b.trajectory_hash(), isolated.trajectory_hash());
+  EXPECT_EQ(apr::outcome_to_json(tenant_a.outcome()).dump(2),
+            apr::outcome_to_json(isolated.outcome()).dump(2));
+}
+
+// --- the server ---------------------------------------------------------
+
+TEST(CampaignServer, MultiplexesMixedFamiliesToCompletionWithoutStarvation) {
+  ServerConfig config;
+  config.max_resident = 64;
+  config.quantum = 8;
+  config.workers = 4;
+  CampaignServer server(config);
+
+  const std::vector<std::string> families = {
+      "units", "gzip-2009-08-16", "Chart26", "Math8", "libtiff-2005-12-14"};
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const auto id = server.submit(
+        small_request(families[static_cast<std::size_t>(i) % families.size()],
+                      100 + static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(server.resident(), 10u);
+
+  server.drain();
+  EXPECT_EQ(server.resident(), 0u);
+  EXPECT_EQ(server.completed(), 10u);
+  EXPECT_EQ(server.starved_epochs(), 0u);  // the zero-starvation invariant
+  EXPECT_GT(server.epochs(), 0u);
+  EXPECT_FALSE(server.probe_latency_seconds().empty());
+
+  // Every campaign finished, has a status, and yields schema'd JSON.
+  for (const std::uint64_t id : ids) {
+    const StatusReply status = server.status(id);
+    EXPECT_TRUE(status.known);
+    EXPECT_TRUE(status.done);
+    EXPECT_EQ(status.bugs_total, 2u);
+    EXPECT_NE(status.trajectory_hash, 0u);
+    const ResultReply result = server.result(id);
+    ASSERT_TRUE(result.ready);
+    EXPECT_NE(result.outcome_json.find("mwr-campaign-outcome-v1"),
+              std::string::npos);
+  }
+
+  // Ten campaigns over five families: the hub interned five pools.
+  EXPECT_EQ(server.hub().stats().pool_builds, 5u);
+  EXPECT_GE(server.hub().stats().pool_hits, 5u);
+}
+
+TEST(CampaignServer, ServedResultMatchesSingleShotByteForByte) {
+  const SubmitRequest request = small_request("lighttpd-1806-1807", 55);
+
+  ServerConfig config;
+  config.workers = 2;
+  CampaignServer server(config);
+  const auto id = server.submit(request);
+  ASSERT_TRUE(id.has_value());
+  server.drain();
+  const ResultReply served = server.result(*id);
+  ASSERT_TRUE(served.ready);
+
+  // The one-schema satellite: a served campaign's result document equals
+  // repair_tool's --outcome-out for the same plan, byte for byte.
+  const CampaignPlan plan = plan_campaign(request);
+  const apr::CampaignOutcome solo = apr::run_campaign(plan.spec, plan.config);
+  EXPECT_EQ(served.outcome_json, apr::outcome_to_json(solo).dump(2) + "\n");
+}
+
+TEST(CampaignServer, AdmissionControlRejectsBeyondTheCap) {
+  ServerConfig config;
+  config.max_resident = 2;
+  config.workers = 2;
+  CampaignServer server(config);
+  ASSERT_TRUE(server.submit(small_request("units", 1)).has_value());
+  ASSERT_TRUE(server.submit(small_request("units", 2)).has_value());
+  EXPECT_FALSE(server.submit(small_request("units", 3)).has_value());
+  server.drain();
+  // Capacity freed: admission opens again.
+  EXPECT_TRUE(server.submit(small_request("units", 4)).has_value());
+  server.drain();
+}
+
+TEST(CampaignServer, ScopedMetricsExposePerCampaignViews) {
+  ServerConfig config;
+  config.workers = 2;
+  CampaignServer server(config);
+  const auto id = server.submit(small_request("Closure22", 77));
+  ASSERT_TRUE(id.has_value());
+  server.drain();
+
+  const std::string prefix = "campaign/" + std::to_string(*id) + "/";
+  const obs::JsonValue view =
+      obs::MetricsRegistry::global().to_json_filtered(prefix);
+  const std::string dumped = view.dump(0);
+  EXPECT_NE(dumped.find(prefix + "online.cycles"), std::string::npos);
+  EXPECT_NE(dumped.find(prefix + "bugs_attempted"), std::string::npos);
+  EXPECT_NE(dumped.find(prefix + "done"), std::string::npos);
+  // The unfiltered snapshot still carries the serve-level counters.
+  const std::string all =
+      obs::MetricsRegistry::global().to_json_string();
+  EXPECT_NE(all.find("serve.epochs"), std::string::npos);
+  EXPECT_NE(all.find("serve.starved_epochs"), std::string::npos);
+}
+
+TEST(CampaignServer, CheckpointRestoreResumesBitIdentically) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "mwr-serve-ckpt-test";
+  std::filesystem::remove_all(dir);
+
+  const std::vector<std::string> families = {"units", "gzip-2009-09-26",
+                                             "Math80"};
+  // Reference: the same submissions run to completion uninterrupted.
+  std::vector<std::uint64_t> reference_hashes;
+  std::vector<std::string> reference_json;
+  {
+    ServerConfig config;
+    config.workers = 2;
+    CampaignServer reference(config);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < families.size(); ++i)
+      ids.push_back(*reference.submit(small_request(families[i], 40 + i)));
+    reference.drain();
+    for (const std::uint64_t id : ids) {
+      reference_hashes.push_back(reference.status(id).trajectory_hash);
+      reference_json.push_back(reference.result(id).outcome_json);
+    }
+  }
+
+  // First daemon life: a few epochs, checkpoint, "kill -9".
+  {
+    ServerConfig config;
+    config.workers = 2;
+    // Quantum 1 keeps every campaign mid-flight after three epochs; a
+    // wider quantum would let the small ones finish before the snapshot.
+    config.quantum = 1;
+    config.checkpoint_dir = dir.string();
+    CampaignServer first_life(config);
+    for (std::size_t i = 0; i < families.size(); ++i)
+      ASSERT_TRUE(
+          first_life.submit(small_request(families[i], 40 + i)).has_value());
+    for (int epoch = 0; epoch < 3 && first_life.resident() > 0; ++epoch)
+      (void)first_life.run_epoch();
+    ASSERT_EQ(first_life.resident(), families.size())
+        << "campaigns finished before the mid-flight checkpoint";
+    const CheckpointReply reply = first_life.checkpoint_all();
+    EXPECT_EQ(reply.campaigns, first_life.resident());
+    EXPECT_GT(reply.bytes, 0u);
+    // Destructor without drain = abrupt death.
+  }
+
+  // Second daemon life: restore and finish.
+  {
+    ServerConfig config;
+    config.workers = 2;
+    config.checkpoint_dir = dir.string();
+    CampaignServer second_life(config);
+    const std::size_t restored = second_life.restore_from_dir();
+    EXPECT_EQ(restored, families.size());
+    second_life.drain();
+    EXPECT_EQ(second_life.starved_epochs(), 0u);
+
+    for (std::size_t i = 0; i < families.size(); ++i) {
+      const std::uint64_t id = i + 1;  // ids are stable across lives
+      const StatusReply status = second_life.status(id);
+      ASSERT_TRUE(status.known && status.done) << "campaign " << id;
+      EXPECT_EQ(status.trajectory_hash, reference_hashes[i])
+          << "campaign " << id << " diverged after resume";
+      EXPECT_EQ(second_life.result(id).outcome_json, reference_json[i]);
+    }
+    // Finished campaigns clean their checkpoint files up.
+    std::size_t remaining = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      remaining += entry.path().extension() == ".ckpt" ? 1u : 0u;
+    EXPECT_EQ(remaining, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mwr::serve

@@ -1,0 +1,242 @@
+// The socket layer of the campaign server: MWRW frames over a real
+// Unix-domain stream socket, the daemon request loop, and ServeClient.
+// (Everything socket-free about the server lives in test_serve.cpp.)
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/transport/wire.hpp"
+#include "serve/client.hpp"
+#include "serve/control.hpp"
+#include "serve/control_socket.hpp"
+#include "serve/server.hpp"
+
+namespace mwr::serve {
+namespace {
+
+using parallel::transport::FrameKind;
+using parallel::transport::WireFrame;
+
+std::string unique_socket_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("mwr-" + tag + "-" + std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+TEST(ControlSocket, FramesRoundTripIncludingLargePayloads) {
+  const std::string path = unique_socket_path("ctl-roundtrip");
+  ControlListener listener(path);
+
+  std::unique_ptr<ControlConn> client = connect_control(path);
+  ASSERT_TRUE(listener.wait_readable({}, 1000));
+  std::unique_ptr<ControlConn> served = listener.accept_one();
+  ASSERT_NE(served, nullptr);
+
+  // Small control frame and a large one — wider than one 64 KiB read
+  // chunk, but small enough to fit the kernel socket buffer (this test
+  // queues both frames before draining, on a single thread).
+  WireFrame small;
+  small.kind = FrameKind::kStatus;
+  small.value = 42;
+  WireFrame large;
+  large.kind = FrameKind::kSubmit;
+  large.payload.assign(12000, 0.5);
+
+  ASSERT_TRUE(client->send_frame(small));
+  ASSERT_TRUE(client->send_frame(large));
+
+  const auto got_small = served->recv_frame();
+  ASSERT_TRUE(got_small.has_value());
+  EXPECT_EQ(*got_small, small);
+  const auto got_large = served->recv_frame();
+  ASSERT_TRUE(got_large.has_value());
+  EXPECT_EQ(*got_large, large);
+
+  // Orderly EOF surfaces as nullopt, not an exception.
+  client.reset();
+  EXPECT_FALSE(served->recv_frame().has_value());
+}
+
+TEST(ControlSocket, PumpDrainsWithoutBlocking) {
+  const std::string path = unique_socket_path("ctl-pump");
+  ControlListener listener(path);
+  std::unique_ptr<ControlConn> client = connect_control(path);
+  std::unique_ptr<ControlConn> served;
+  for (int i = 0; i < 100 && !served; ++i) {
+    (void)listener.wait_readable({}, 50);
+    served = listener.accept_one();
+  }
+  ASSERT_NE(served, nullptr);
+
+  std::vector<WireFrame> frames;
+  EXPECT_TRUE(served->pump(frames));  // nothing queued: alive, no frames
+  EXPECT_TRUE(frames.empty());
+
+  ASSERT_TRUE(client->send_frame(encode_status_request(7)));
+  ASSERT_TRUE(client->send_frame(encode_checkpoint_request()));
+  for (int i = 0; i < 100 && frames.size() < 2; ++i) {
+    (void)listener.wait_readable({served.get()}, 50);
+    ASSERT_TRUE(served->pump(frames));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].kind, FrameKind::kStatus);
+  EXPECT_EQ(frames[1].kind, FrameKind::kCheckpoint);
+}
+
+// A miniature mwr_served loop: accept one client, service requests
+// between scheduling epochs, exit on drain-complete after shutdown.
+void daemon_loop(const std::string& path, std::atomic<bool>* failed) {
+  try {
+    ServerConfig config;
+    config.workers = 2;
+    config.quantum = 8;
+    CampaignServer server(config);
+    ControlListener listener(path);
+    std::vector<std::unique_ptr<ControlConn>> conns;
+    bool shutting_down = false;
+    for (;;) {
+      while (auto conn = listener.accept_one()) conns.push_back(std::move(conn));
+      for (auto it = conns.begin(); it != conns.end();) {
+        std::vector<WireFrame> frames;
+        bool alive = (*it)->pump(frames);
+        for (const WireFrame& frame : frames) {
+          WireFrame reply;
+          switch (frame.kind) {
+            case FrameKind::kSubmit: {
+              SubmitReply out;
+              if (!shutting_down) {
+                try {
+                  if (const auto id =
+                          server.submit(decode_submit_request(frame))) {
+                    out.accepted = true;
+                    out.campaign_id = *id;
+                  }
+                } catch (const std::invalid_argument&) {
+                  // Unknown scenario et al.: reject, keep serving.
+                }
+              }
+              out.resident = server.resident();
+              reply = encode_submit_reply(out);
+              break;
+            }
+            case FrameKind::kStatus:
+              reply = encode_status_reply(
+                  frame.value, server.status(decode_status_request(frame)));
+              break;
+            case FrameKind::kResult:
+              reply =
+                  encode_result_reply(server.result(decode_result_request(frame)));
+              break;
+            case FrameKind::kCheckpoint:
+              reply = encode_checkpoint_reply(CheckpointReply{});
+              break;
+            case FrameKind::kShutdown:
+              shutting_down = true;
+              reply = encode_shutdown_reply(server.resident());
+              break;
+            default:
+              throw std::runtime_error("unexpected frame");
+          }
+          if (!(*it)->send_frame(reply)) {
+            alive = false;
+            break;
+          }
+        }
+        it = alive ? it + 1 : conns.erase(it);
+      }
+      if (shutting_down && server.resident() == 0) break;
+      if (server.resident() > 0) {
+        (void)server.run_epoch();
+        continue;
+      }
+      std::vector<ControlConn*> raw;
+      for (const auto& conn : conns) raw.push_back(conn.get());
+      (void)listener.wait_readable(raw, 20);
+    }
+    if (server.starved_epochs() != 0) *failed = true;
+  } catch (...) {
+    *failed = true;
+  }
+}
+
+// Joins the daemon thread even when an ASSERT bails out of the test
+// body early (a joinable std::thread destructor would call terminate).
+struct DaemonHandle {
+  std::string path;
+  std::thread thread;
+  ~DaemonHandle() {
+    if (!thread.joinable()) return;
+    try {
+      (void)ServeClient(path, /*connect_timeout_ms=*/1000).shutdown();
+    } catch (...) {
+      // Daemon already gone; the join below returns immediately.
+    }
+    thread.join();
+  }
+};
+
+TEST(ServeClient, SubmitsPollsAndFetchesResultsOverTheWire) {
+  const std::string path = unique_socket_path("ctl-e2e");
+  std::atomic<bool> daemon_failed{false};
+  DaemonHandle daemon{path, std::thread(daemon_loop, path, &daemon_failed)};
+
+  {
+    ServeClient client(path);
+    const std::vector<std::string> families = {"units", "Chart26", "Math8"};
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i) {
+      SubmitRequest request;
+      request.scenario = families[static_cast<std::size_t>(i) % 3];
+      request.bugs = 2;
+      request.pool_target = 120;
+      request.pool_attempts = 10000;
+      request.arms = 16;
+      request.agents = 4;
+      request.max_iterations = 50;
+      request.repair_seed = 500 + static_cast<std::uint64_t>(i);
+      const SubmitReply reply = client.submit(request);
+      ASSERT_TRUE(reply.accepted);
+      ids.push_back(reply.campaign_id);
+    }
+
+    // Unknown scenarios are rejected without killing the daemon.
+    SubmitRequest bogus;
+    bogus.scenario = "no-such-program";
+    EXPECT_FALSE(client.submit(bogus).accepted);
+
+    for (const std::uint64_t id : ids) {
+      StatusReply status;
+      for (int i = 0; i < 10000; ++i) {
+        status = client.status(id);
+        if (status.done) break;
+      }
+      ASSERT_TRUE(status.known);
+      ASSERT_TRUE(status.done) << "campaign " << id << " never finished";
+      EXPECT_EQ(status.bugs_total, 2u);
+      EXPECT_NE(status.trajectory_hash, 0u);
+
+      const ResultReply result = client.result(id);
+      ASSERT_TRUE(result.ready);
+      EXPECT_NE(result.outcome_json.find("\"mwr-campaign-outcome-v1\""),
+                std::string::npos);
+      EXPECT_NE(result.outcome_json.find("\"mode\": \"campaign\""),
+                std::string::npos);
+    }
+
+    EXPECT_EQ(client.status(9999).known, false);
+    EXPECT_EQ(client.result(9999).ready, false);
+    (void)client.shutdown();
+  }
+
+  daemon.thread.join();
+  EXPECT_FALSE(daemon_failed.load());
+}
+
+}  // namespace
+}  // namespace mwr::serve

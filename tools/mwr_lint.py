@@ -185,8 +185,14 @@ RULES = [
             r"\b_exit\s*\(",
         ],
         bit_identity_only=False,
-        # The fabric itself: rings, sockets, and the fork-based launcher.
-        whitelist=("src/parallel/transport/",),
+        # The fabric itself (rings, sockets, fork-based launcher) plus the
+        # campaign server's control socket — exactly one file in src/serve
+        # may touch the OS; the rest of the subsystem (codecs, scheduler,
+        # checkpointing, the server) must stay IPC-free.
+        whitelist=(
+            "src/parallel/transport/",
+            "src/serve/control_socket.cpp",
+        ),
     ),
     Rule(
         "raw-simd",
