@@ -212,7 +212,7 @@ void CampaignSession::finish_bug() {
   outcome_.bugs.push_back(current_bug_);
   bug_lease_ = ScenarioServices::OracleLease{};
   ++bug_index_;
-  if (bug_index_ == config_.bugs) {
+  if (bug_index_ >= config_.bugs) {
     finalize();
   } else {
     phase_ = Phase::kBugStart;
@@ -246,6 +246,13 @@ std::size_t CampaignSession::step(std::size_t budget,
         ++used;
         break;
       case Phase::kBugStart:
+        if (bug_index_ >= config_.bugs) {
+          // bugs == 0 (or a snapshot taken at the boundary): nothing to
+          // start — finalize instead of marching bug_index_ forever.
+          finalize();
+          ++used;
+          break;
+        }
         start_bug(workers);
         bug_seconds_ += unit_timer.elapsed_seconds();
         ++used;

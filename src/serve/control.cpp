@@ -42,6 +42,26 @@ void expect_drained(const PayloadReader& reader, const char* what) {
 }  // namespace
 
 CampaignPlan plan_campaign(const SubmitRequest& request) {
+  // Admission-time validation: every knob that MwRepair, the MWU
+  // strategies, or the oracle would reject later must be refused here,
+  // at SUBMIT, so a malformed submission is a client error instead of an
+  // exception thrown inside a running epoch fiber.
+  if (request.bugs == 0)
+    throw std::invalid_argument("plan_campaign: bugs == 0");
+  if (request.arms == 0)
+    throw std::invalid_argument("plan_campaign: arms == 0");
+  if (request.max_count == 0)
+    throw std::invalid_argument("plan_campaign: max_count == 0");
+  if (request.agents == 0)
+    throw std::invalid_argument("plan_campaign: agents == 0");
+  if (request.max_iterations == 0)
+    throw std::invalid_argument("plan_campaign: max_iterations == 0");
+  if (request.tests > 64)
+    throw std::invalid_argument(
+        "plan_campaign: tests > 64 (oracle bitmask limit)");
+  if (request.mwu > static_cast<std::uint8_t>(core::MwuKind::kExp3))
+    throw std::invalid_argument("plan_campaign: unknown MWU kind index");
+
   CampaignPlan plan;
   plan.spec = datasets::scenario_by_name(request.scenario);
   if (request.tests != 0) plan.spec.tests = request.tests;
@@ -53,8 +73,6 @@ CampaignPlan plan_campaign(const SubmitRequest& request) {
   config.pool.max_attempts = request.pool_attempts;
   config.pool.seed = request.pool_seed;
   config.pool.threads = 1;
-  if (request.mwu > static_cast<std::uint8_t>(core::MwuKind::kExp3))
-    throw std::invalid_argument("plan_campaign: unknown MWU kind index");
   config.repair.mwu = static_cast<core::MwuKind>(request.mwu);
   config.repair.arms = request.arms;
   config.repair.max_count = request.max_count;

@@ -118,7 +118,11 @@ bool ControlConn::pump(std::vector<WireFrame>& out) {
     consumed_ += used;
     out.push_back(std::move(frame));
   }
-  return alive || consumed_ != staged_.size() || !out.empty();
+  // On EOF the decoded frames above still get serviced by the caller,
+  // but any bytes left over are a mid-frame truncation from a dead peer
+  // and can never complete — report the connection dead rather than let
+  // poll() spin hot on an EOF'd fd forever.
+  return alive;
 }
 
 ControlListener::ControlListener(const std::string& path) : path_(path) {

@@ -42,7 +42,10 @@ class ControlConn {
   std::optional<parallel::transport::WireFrame> recv_frame();
 
   /// Non-blocking drain: appends every frame currently decodable from
-  /// the kernel buffer to `out`.  Returns false when the peer closed.
+  /// the kernel buffer to `out`.  Returns false when the peer closed —
+  /// including a close mid-frame, whose truncated tail can never
+  /// complete; frames appended in the same call are still valid and
+  /// should be serviced before dropping the connection.
   bool pump(std::vector<parallel::transport::WireFrame>& out);
 
   [[nodiscard]] int fd() const noexcept { return fd_; }

@@ -142,6 +142,11 @@ apr::ScenarioServices::OracleLease OracleHub::oracle_for(
     util::MutexLock lock(mutex_);
     entry->failed = true;
     entry->ready = true;
+    // Waiters already parked on this entry observe the failure, but the
+    // map slot is released so a later campaign retries the build instead
+    // of hitting a permanently poisoned fingerprint (the failure may
+    // have been transient — allocation pressure, say).
+    oracles_.erase(key);
     ready_cv_.notify_all();
     throw;
   }
@@ -198,6 +203,10 @@ apr::ScenarioServices::PoolLease OracleHub::base_pool(
     util::MutexLock lock(mutex_);
     entry->failed = true;
     entry->ready = true;
+    // Same retry contract as oracle_for: fail the parked waiters, free
+    // the slot so the next tenant rebuilds instead of inheriting a
+    // permanently cached failure.
+    pools_.erase(key);
     ready_cv_.notify_all();
     throw;
   }

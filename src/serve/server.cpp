@@ -7,6 +7,7 @@
 
 #include "apr/outcome_json.hpp"
 #include "obs/registry.hpp"
+#include "obs/serialization.hpp"
 #include "parallel/superstep.hpp"
 #include "serve/checkpoint.hpp"
 #include "util/timer.hpp"
@@ -22,6 +23,7 @@ CampaignServer::CampaignServer(ServerConfig config)
   completed_ = &metrics.counter("serve.completed");
   epochs_counter_ = &metrics.counter("serve.epochs");
   starved_counter_ = &metrics.counter("serve.starved_epochs");
+  failed_counter_ = &metrics.counter("serve.failed_campaigns");
   checkpoint_bytes_ = &metrics.counter("serve.checkpoint_bytes");
   resident_gauge_ = &metrics.gauge("serve.resident");
   probe_seconds_ = &metrics.histogram("serve.probe_seconds");
@@ -62,19 +64,31 @@ bool CampaignServer::run_epoch() {
   std::vector<std::size_t> used(grants.size(), 0);
   std::vector<std::size_t> probes(grants.size(), 0);
   std::vector<double> seconds(grants.size(), 0.0);
+  std::vector<std::string> errors(grants.size());
   parallel::SuperstepEngine engine(
       grants.size(), parallel::SuperstepEngine::Config{config_.workers});
   engine.run([&](int rank) {
-    const DeficitScheduler::Grant& grant =
-        grants[static_cast<std::size_t>(rank)];
+    const auto i = static_cast<std::size_t>(rank);
+    const DeficitScheduler::Grant& grant = grants[i];
     apr::CampaignSession& session = *running_.at(grant.id).session;
     const util::WallTimer timer;
-    used[static_cast<std::size_t>(rank)] = session.step(grant.budget, nullptr);
-    probes[static_cast<std::size_t>(rank)] = session.probes_last_step();
-    seconds[static_cast<std::size_t>(rank)] = timer.elapsed_seconds();
+    // A throwing session must fail only its own campaign.  The engine
+    // rethrows fiber exceptions out of run_epoch, which would take every
+    // resident tenant down with the one that misbehaved.
+    try {
+      used[i] = session.step(grant.budget, nullptr);
+      probes[i] = session.probes_last_step();
+    } catch (const std::exception& error) {
+      errors[i] = error.what();
+      if (errors[i].empty()) errors[i] = "campaign step failed";
+    } catch (...) {
+      errors[i] = "campaign step failed";
+    }
+    seconds[i] = timer.elapsed_seconds();
   });
 
   std::vector<std::uint64_t> retired;
+  std::vector<std::uint64_t> failed;
   for (std::size_t i = 0; i < grants.size(); ++i) {
     const DeficitScheduler::Grant& grant = grants[i];
     scheduler_.settle(grant.id, used[i]);
@@ -87,7 +101,10 @@ bool CampaignServer::run_epoch() {
       probe_latency_seconds_.push_back(per_probe);
       probe_seconds_->observe(per_probe);
     }
-    if (campaign.session->done()) {
+    if (!errors[i].empty()) {
+      campaign.error = errors[i];
+      failed.push_back(grant.id);
+    } else if (campaign.session->done()) {
       retired.push_back(grant.id);
     } else if (used[i] == 0) {
       // DRR guarantees budget >= 1 and sessions consume >= 1 unit while
@@ -98,6 +115,11 @@ bool CampaignServer::run_epoch() {
     }
   }
 
+  for (const std::uint64_t id : failed) {
+    Campaign campaign = std::move(running_.at(id));
+    running_.erase(id);
+    fail_campaign(std::move(campaign));
+  }
   for (const std::uint64_t id : retired) {
     Campaign campaign = std::move(running_.at(id));
     running_.erase(id);
@@ -135,6 +157,27 @@ void CampaignServer::finish_campaign(Campaign&& campaign) {
     std::filesystem::remove(checkpoint_path(campaign.id), ignored);
   }
   completed_->add(1);
+  const std::uint64_t id = campaign.id;
+  finished_.emplace(id, std::move(campaign));
+}
+
+void CampaignServer::fail_campaign(Campaign&& campaign) {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("schema", "mwr-campaign-error-v1");
+  root.set("error", campaign.error);
+  campaign.result_json = root.dump(/*indent=*/2);
+  campaign.result_json += "\n";
+  campaign.final_hash = campaign.session->trajectory_hash();
+  campaign.repaired = campaign.session->bugs_repaired();
+  campaign.bugs_done = campaign.session->bugs_completed();
+  campaign.session.reset();
+  scheduler_.remove(campaign.id);
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ignored;
+    std::filesystem::remove(checkpoint_path(campaign.id), ignored);
+  }
+  ++failed_count_;
+  failed_counter_->add(1);
   const std::uint64_t id = campaign.id;
   finished_.emplace(id, std::move(campaign));
 }

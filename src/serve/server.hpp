@@ -76,7 +76,8 @@ class CampaignServer {
 
   /// Admission control: returns the campaign id, or nullopt when the
   /// resident cap is reached.  Throws std::invalid_argument for a
-  /// malformed request (unknown scenario / MWU kind).
+  /// malformed request (unknown scenario / MWU kind, degenerate repair
+  /// knobs — see plan_campaign).
   std::optional<std::uint64_t> submit(const SubmitRequest& request);
 
   /// Runs one DRR epoch over the resident campaigns.  Returns false when
@@ -93,6 +94,11 @@ class CampaignServer {
   /// invariantly 0 under DRR).
   [[nodiscard]] std::uint64_t starved_epochs() const noexcept {
     return starved_epochs_count_;
+  }
+  /// Campaigns retired because their session threw mid-epoch (each one
+  /// fails alone; the daemon and every other tenant keep running).
+  [[nodiscard]] std::uint64_t failed_campaigns() const noexcept {
+    return failed_count_;
   }
 
   [[nodiscard]] StatusReply status(std::uint64_t campaign_id) const;
@@ -127,6 +133,7 @@ class CampaignServer {
     SubmitRequest request;
     std::unique_ptr<apr::CampaignSession> session;
     std::string result_json;        ///< rendered at completion.
+    std::string error;              ///< non-empty = campaign failed.
     std::uint64_t final_hash = 0;
     std::uint64_t online_cycles = 0;
     std::uint64_t online_probes = 0;
@@ -135,6 +142,11 @@ class CampaignServer {
   };
 
   void finish_campaign(Campaign&& campaign);
+  /// Retires a campaign whose session threw (campaign.error holds the
+  /// message): the result frame becomes an mwr-campaign-error-v1
+  /// document and the scheduler slot is released, leaving every other
+  /// tenant untouched.
+  void fail_campaign(Campaign&& campaign);
   void fill_status(const Campaign& campaign, StatusReply& reply) const;
   [[nodiscard]] std::string checkpoint_path(std::uint64_t campaign_id) const;
 
@@ -146,6 +158,7 @@ class CampaignServer {
   std::uint64_t next_id_ = 1;
   std::uint64_t epochs_run_ = 0;
   std::uint64_t starved_epochs_count_ = 0;
+  std::uint64_t failed_count_ = 0;
   std::vector<double> probe_latency_seconds_;
 
   obs::Counter* submitted_;
@@ -153,6 +166,7 @@ class CampaignServer {
   obs::Counter* completed_;
   obs::Counter* epochs_counter_;
   obs::Counter* starved_counter_;
+  obs::Counter* failed_counter_;
   obs::Counter* checkpoint_bytes_;
   obs::Gauge* resident_gauge_;
   obs::Histogram* probe_seconds_;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "apr/campaign.hpp"
+#include "apr/campaign_session.hpp"
 #include "datasets/scenario.hpp"
 #include "obs/registry.hpp"
 #include "obs/serialization.hpp"
@@ -129,6 +130,20 @@ TEST(Campaign, DeterministicPerSeeds) {
     EXPECT_EQ(a.bugs[i].online_probes, b.bugs[i].online_probes);
     EXPECT_EQ(a.bugs[i].pool_dropped, b.bugs[i].pool_dropped);
   }
+}
+
+TEST(Campaign, ZeroBugCampaignFinalizesInsteadOfRunningForever) {
+  // bugs == 0 must reach kDone after precompute: the finish_bug boundary
+  // check (`bug_index_ >= bugs`) can never fire for it, so without the
+  // kBugStart guard the session marched bug 0, 1, 2, ... forever —
+  // pinning a residency slot and wedging a served daemon's drain().
+  auto config = fast_config();
+  config.bugs = 0;
+  CampaignSession session(toy_spec(), config);
+  const std::size_t used = session.step(/*budget=*/16);
+  EXPECT_TRUE(session.done());
+  EXPECT_LE(used, 2u);  // precompute + finalize, nothing else
+  EXPECT_TRUE(session.outcome().bugs.empty());
 }
 
 TEST(Campaign, SuiteSizeIsCappedAtTheOracleLimit) {

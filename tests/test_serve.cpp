@@ -142,6 +142,34 @@ TEST(ControlCodec, PlanForcesSingleThreadedPhases) {
   EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
 }
 
+TEST(ControlCodec, PlanRejectsDegenerateRepairKnobs) {
+  // Every knob a later phase would throw on (MwRepair's arms/max_count
+  // guards, the MWU agent count, the oracle's 64-test bitmask) must be
+  // refused at SUBMIT: a submission that passed admission and then threw
+  // inside an epoch fiber used to take down the whole daemon.
+  const SubmitRequest valid = small_request("Math8", 5);
+  (void)plan_campaign(valid);  // baseline: the template itself is fine
+
+  SubmitRequest request = valid;
+  request.bugs = 0;
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+  request = valid;
+  request.arms = 0;
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+  request = valid;
+  request.max_count = 0;
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+  request = valid;
+  request.agents = 0;
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+  request = valid;
+  request.max_iterations = 0;
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+  request = valid;
+  request.tests = 65;
+  EXPECT_THROW((void)plan_campaign(request), std::invalid_argument);
+}
+
 // --- deficit-round-robin scheduler --------------------------------------
 
 TEST(DeficitScheduler, EveryResidentCampaignIsGrantedEveryEpoch) {
@@ -330,6 +358,29 @@ TEST(OracleHub, SharesPoolsAndOraclesAcrossTenants) {
   EXPECT_EQ(stats.oracle_hits, 1u);
 }
 
+TEST(OracleHub, FailedBuildsAreRetriedNotCachedForever) {
+  OracleHub hub;
+  datasets::ScenarioSpec bad = datasets::scenario_by_name("units");
+  bad.tests = 65;  // beyond the oracle's 64-test bitmask: the build throws
+
+  // Each lookup must attempt a fresh build and surface the builder's own
+  // error.  A poisoned cache entry would turn the second call into a
+  // std::runtime_error("oracle build failed") forever.
+  EXPECT_THROW((void)hub.oracle_for(bad), std::invalid_argument);
+  EXPECT_THROW((void)hub.oracle_for(bad), std::invalid_argument);
+  EXPECT_EQ(hub.stats().oracle_builds, 2u);
+
+  const apr::PoolConfig pool_config;
+  EXPECT_THROW((void)hub.base_pool(bad, pool_config), std::invalid_argument);
+  EXPECT_THROW((void)hub.base_pool(bad, pool_config), std::invalid_argument);
+  EXPECT_EQ(hub.stats().pool_builds, 2u);
+
+  // And a failure leaves the hub fully serviceable for valid specs.
+  bad.tests = 12;
+  const auto lease = hub.oracle_for(bad);
+  EXPECT_NE(lease.oracle, nullptr);
+}
+
 TEST(OracleHub, SharedServicesPreserveTheSingleTenantTrajectory) {
   const CampaignPlan plan = plan_campaign(small_request("Chart26", 13));
 
@@ -429,6 +480,23 @@ TEST(CampaignServer, AdmissionControlRejectsBeyondTheCap) {
   // Capacity freed: admission opens again.
   EXPECT_TRUE(server.submit(small_request("units", 4)).has_value());
   server.drain();
+}
+
+TEST(CampaignServer, MalformedSubmissionIsRejectedWithoutResidue) {
+  ServerConfig config;
+  config.workers = 2;
+  CampaignServer server(config);
+  SubmitRequest bad = small_request("units", 1);
+  bad.arms = 0;
+  EXPECT_THROW((void)server.submit(bad), std::invalid_argument);
+  // Rejection is a client error, not daemon state: nothing resident, no
+  // scheduler slot, and a well-formed campaign still runs to completion.
+  EXPECT_EQ(server.resident(), 0u);
+  EXPECT_FALSE(server.run_epoch());
+  ASSERT_TRUE(server.submit(small_request("units", 2)).has_value());
+  server.drain();
+  EXPECT_EQ(server.completed(), 1u);
+  EXPECT_EQ(server.failed_campaigns(), 0u);
 }
 
 TEST(CampaignServer, ScopedMetricsExposePerCampaignViews) {

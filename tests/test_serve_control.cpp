@@ -3,6 +3,7 @@
 // (Everything socket-free about the server lives in test_serve.cpp.)
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -87,6 +88,44 @@ TEST(ControlSocket, PumpDrainsWithoutBlocking) {
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[0].kind, FrameKind::kStatus);
   EXPECT_EQ(frames[1].kind, FrameKind::kCheckpoint);
+}
+
+TEST(ControlSocket, PumpReportsDeadPeerAfterMidFrameEof) {
+  const std::string path = unique_socket_path("ctl-midframe-eof");
+  ControlListener listener(path);
+  std::unique_ptr<ControlConn> client = connect_control(path);
+  std::unique_ptr<ControlConn> served;
+  for (int i = 0; i < 100 && !served; ++i) {
+    (void)listener.wait_readable({}, 50);
+    served = listener.accept_one();
+  }
+  ASSERT_NE(served, nullptr);
+
+  // One whole frame, then the first half of a second one, then close:
+  // a peer dying mid-frame.
+  const WireFrame whole = encode_status_request(7);
+  std::vector<std::uint8_t> bytes;
+  parallel::transport::encode_frame(whole, bytes);
+  ASSERT_TRUE(client->send_frame(whole));
+  const std::size_t half = bytes.size() / 2;
+  ASSERT_GT(half, 0u);
+  ASSERT_EQ(::send(client->fd(), bytes.data(), half, MSG_NOSIGNAL),
+            static_cast<ssize_t>(half));
+  client.reset();
+
+  // The truncated tail can never complete, so pump must hand the caller
+  // the whole frame and then report the connection dead — leaving it
+  // resident turned the daemon's poll loop into a busy spin on an EOF'd
+  // fd and leaked the connection forever.
+  std::vector<WireFrame> frames;
+  bool alive = true;
+  for (int i = 0; i < 100 && alive; ++i) {
+    (void)listener.wait_readable({served.get()}, 50);
+    alive = served->pump(frames);
+  }
+  EXPECT_FALSE(alive);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], whole);
 }
 
 // A miniature mwr_served loop: accept one client, service requests

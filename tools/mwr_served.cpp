@@ -154,13 +154,23 @@ int run(int argc, char** argv) {
     // Service every connection's pending requests in arrival order.
     for (auto it = conns.begin(); it != conns.end();) {
       std::vector<WireFrame> frames;
-      bool alive = (*it)->pump(frames);
-      for (const WireFrame& frame : frames) {
-        idle_timer.restart();
-        if (!(*it)->send_frame(handle_frame(daemon, frame))) {
-          alive = false;
-          break;
+      bool alive;
+      try {
+        alive = (*it)->pump(frames);
+        for (const WireFrame& frame : frames) {
+          idle_timer.restart();
+          if (!(*it)->send_frame(handle_frame(daemon, frame))) {
+            alive = false;
+            break;
+          }
         }
+      } catch (const std::exception& error) {
+        // A malformed control stream (garbage bytes, implausible frame
+        // length, bad payload shape) poisons only its own connection:
+        // drop it and keep every resident campaign running.
+        std::fprintf(stderr, "mwr_served: dropping connection: %s\n",
+                     error.what());
+        alive = false;
       }
       it = alive ? it + 1 : conns.erase(it);
     }
