@@ -29,7 +29,7 @@ mwr-bench-transport-v1 (bench_transport --json):
   not regress more than 5x in either metric against the committed baseline
   (process forking on shared CI runners is noisy, hence the allowance).
 
-mwr-bench-serve-v1 (bench_serve --json):
+mwr-bench-serve-v2 (bench_serve --json):
   the campaign server must complete every admitted campaign (completed ==
   campaigns), never starve one (starved_epochs == 0), reproduce the
   uninterrupted trajectories after a checkpoint/kill/restore cycle
@@ -38,6 +38,11 @@ mwr-bench-serve-v1 (bench_serve --json):
   ceiling, and not regress throughput more than 5x against the committed
   baseline.  The identity bits (resume_ok, starvation, completion) are
   measured within one run, so they gate hard regardless of runner speed.
+  v2 adds per-epoch latency percentiles (fairness.epoch_p50_us /
+  epoch_p99_us) and the async-checkpoint wall-time split
+  (checkpoint.critical_path_us on the epoch path vs writer_us on the
+  writer thread) — validated for shape, reported as deltas, not gated
+  (pure timing, too runner-dependent for thresholds).
 
 Speedup floors and the bit-identity bit are measured within one run, so
 they are immune to runner-speed variance; only the absolute-regression
@@ -84,7 +89,7 @@ TRANSPORT_MIN_MSGS_PER_SEC = 50_000.0
 TRANSPORT_MAX_P99_LATENCY_US = 20_000.0
 TRANSPORT_MAX_ABS_REGRESSION = 5.0  # vs baseline, either metric
 
-SERVE_SCHEMA = "mwr-bench-serve-v1"
+SERVE_SCHEMA = "mwr-bench-serve-v2"
 # An order of magnitude under the slowest expected runner, like the
 # transport floors: catches the server degenerating to one campaign per
 # epoch-sweep without flaking on machine variance.
@@ -293,8 +298,13 @@ SERVE_NUMERIC_FIELDS = {
         "admission_rejects": 0,
     },
     "probes": {"count": 1, "p50_us": 0, "p99_us": 0},
-    "checkpoint": {"total_bytes": 1},
-    "fairness": {"epochs": 1, "starved_epochs": 0},
+    "checkpoint": {"total_bytes": 1, "critical_path_us": 0, "writer_us": 0},
+    "fairness": {
+        "epochs": 1,
+        "epoch_p50_us": 0,
+        "epoch_p99_us": 0,
+        "starved_epochs": 0,
+    },
 }
 
 

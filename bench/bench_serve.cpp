@@ -5,19 +5,20 @@
 //   load       — campaigns/sec through submit -> DRR epochs -> retire,
 //                plus admission-control rejects from a deliberate
 //                overflow beyond the resident cap;
-//   probes     — p50/p99 per-probe latency (per-fiber wall seconds over
+//   probes     — p50/p99 per-probe latency (wave wall seconds over
 //                probes issued, sampled every campaign-epoch);
-//   checkpoint — bytes written by a mid-flight checkpoint_all(), and
+//   checkpoint — bytes written by a mid-flight checkpoint_all(), the
+//                critical-path vs async-writer wall-time split, and
 //                resume_ok: a kill/restore cycle must reproduce the
 //                uninterrupted trajectory hash and outcome JSON for
 //                every campaign (the bit-identity pin);
-//   fairness   — epochs run and starved campaign-epochs (must be 0
-//                under deficit round robin).
+//   fairness   — epochs run, p50/p99 wall time per epoch, and starved
+//                campaign-epochs (must be 0 under deficit round robin).
 //
 // Two modes:
 //   default    — self-hosted: an in-process CampaignServer, so every
 //                section above is observable.  Emits BENCH_serve.json
-//                (schema "mwr-bench-serve-v1"); CI's bench-smoke job
+//                (schema "mwr-bench-serve-v2"); CI's bench-smoke job
 //                gates it against bench/BENCH_serve.baseline.json via
 //                .github/check_bench.py.
 //   --connect PATH
@@ -89,10 +90,13 @@ struct LoadResult {
   std::uint64_t epochs = 0;
   std::uint64_t starved = 0;
   std::vector<double> probe_latency_us;
+  std::vector<double> epoch_us;    // wall time of every scheduling epoch
 };
 
 struct CheckpointResult {
   std::uint64_t total_bytes = 0;
+  double critical_path_us = 0.0;   // serialize + queue, on the epoch path
+  double writer_us = 0.0;          // tmp + fsync + rename, off-path
   bool resume_ok = false;
 };
 
@@ -117,7 +121,13 @@ LoadResult run_load(std::size_t campaigns, std::size_t quantum,
     if (!server.submit(fleet_request(campaigns + i)).has_value())
       ++result.rejects;
   }
-  server.drain();
+  // Drain epoch by epoch so every scheduling epoch's wall time lands in
+  // the p50/p99 distribution (the pipeline's headline latency).
+  while (server.resident() > 0) {
+    const util::WallTimer epoch_timer;
+    if (!server.run_epoch()) break;
+    result.epoch_us.push_back(epoch_timer.elapsed_seconds() * 1e6);
+  }
   const double seconds = timer.elapsed_seconds();
 
   result.completed = server.completed();
@@ -167,6 +177,10 @@ CheckpointResult run_checkpoint_cycle(std::size_t workers) {
       (void)first_life.submit(fleet_request(i));
     for (int epoch = 0; epoch < 3; ++epoch) (void)first_life.run_epoch();
     result.total_bytes = first_life.checkpoint_all().bytes;
+    // The async split: what serializing cost the control loop vs what
+    // the writer thread spent on file I/O off the critical path.
+    result.critical_path_us = first_life.checkpoint_critical_seconds() * 1e6;
+    result.writer_us = first_life.checkpoint_writer_seconds() * 1e6;
     // Destructor without drain: the abrupt-death half of the cycle.
   }
   {
@@ -325,6 +339,8 @@ int run(int argc, char** argv) {
 
   const double p50_us = util::percentile(load.probe_latency_us, 0.50);
   const double p99_us = util::percentile(load.probe_latency_us, 0.99);
+  const double epoch_p50_us = util::percentile(load.epoch_us, 0.50);
+  const double epoch_p99_us = util::percentile(load.epoch_us, 0.99);
 
   util::Table table("Campaign server (" + std::to_string(load.campaigns) +
                     " campaigns, " + std::to_string(kFamilies.size()) +
@@ -336,15 +352,21 @@ int run(int argc, char** argv) {
   table.add_row({"probe p50 us", util::fmt_fixed(p50_us, 2)});
   table.add_row({"probe p99 us", util::fmt_fixed(p99_us, 2)});
   table.add_row({"epochs", std::to_string(load.epochs)});
+  table.add_row({"epoch p50 us", util::fmt_fixed(epoch_p50_us, 1)});
+  table.add_row({"epoch p99 us", util::fmt_fixed(epoch_p99_us, 1)});
   table.add_row({"starved epochs", std::to_string(load.starved)});
   table.add_row(
       {"checkpoint bytes", std::to_string(checkpoint.total_bytes)});
+  table.add_row({"checkpoint critical-path us",
+                 util::fmt_fixed(checkpoint.critical_path_us, 1)});
+  table.add_row(
+      {"checkpoint writer us", util::fmt_fixed(checkpoint.writer_us, 1)});
   table.add_row({"resume bit-identical", checkpoint.resume_ok ? "yes" : "NO"});
   table.emit(std::cout, cli.get_string("csv"));
 
   std::ofstream os(cli.get_string("json"));
   char buf[64];
-  os << "{\n  \"schema\": \"mwr-bench-serve-v1\",\n"
+  os << "{\n  \"schema\": \"mwr-bench-serve-v2\",\n"
      << "  \"params\": {\"campaigns\": " << load.campaigns
      << ", \"families\": " << kFamilies.size() << ", \"quantum\": " << quantum
      << ", \"workers\": " << workers << "},\n";
@@ -359,10 +381,18 @@ int run(int argc, char** argv) {
      << ", \"p50_us\": " << buf;
   std::snprintf(buf, sizeof buf, "%.3f", p99_us);
   os << ", \"p99_us\": " << buf << "},\n"
-     << "  \"checkpoint\": {\"total_bytes\": " << checkpoint.total_bytes
+     << "  \"checkpoint\": {\"total_bytes\": " << checkpoint.total_bytes;
+  std::snprintf(buf, sizeof buf, "%.1f", checkpoint.critical_path_us);
+  os << ", \"critical_path_us\": " << buf;
+  std::snprintf(buf, sizeof buf, "%.1f", checkpoint.writer_us);
+  os << ", \"writer_us\": " << buf
      << ", \"resume_ok\": " << (checkpoint.resume_ok ? "true" : "false")
      << "},\n"
-     << "  \"fairness\": {\"epochs\": " << load.epochs
+     << "  \"fairness\": {\"epochs\": " << load.epochs;
+  std::snprintf(buf, sizeof buf, "%.1f", epoch_p50_us);
+  os << ", \"epoch_p50_us\": " << buf;
+  std::snprintf(buf, sizeof buf, "%.1f", epoch_p99_us);
+  os << ", \"epoch_p99_us\": " << buf
      << ", \"starved_epochs\": " << load.starved << "}\n}\n";
   std::cout << "wrote " << cli.get_string("json") << "\n";
   return checkpoint.resume_ok && load.starved == 0 ? 0 : 1;

@@ -1,6 +1,7 @@
 #include "apr/mutation.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace mwr::apr {
 
@@ -77,6 +78,66 @@ Patch sample_from_pool(std::span<const Mutation> pool, std::size_t size,
   }
   canonicalize(patch);
   return patch;
+}
+
+namespace {
+
+// Per-thread scratch for the wave's per-probe sampling: an identity
+// permutation restored after every call, the slots it touched, and a
+// selection bitmap.  Hot enough (one call per staged probe) that the
+// allocate + iota + std::sort of the generic path dominated epoch time.
+thread_local std::vector<std::uint32_t> t_perm;
+thread_local std::vector<std::uint32_t> t_touched;
+thread_local std::vector<std::uint64_t> t_selected;
+
+}  // namespace
+
+void sample_from_pool_indexed(std::size_t pool_size, std::size_t size,
+                              util::RngStream& rng,
+                              std::vector<std::uint32_t>& out) {
+  const std::size_t take = std::min(size, pool_size);
+  out.clear();
+  // Keep the scratch permutation grown to the largest pool seen; the
+  // restore pass below maintains the identity invariant between calls.
+  if (t_perm.size() < pool_size) {
+    const std::size_t old = t_perm.size();
+    t_perm.resize(pool_size);
+    for (std::size_t i = old; i < pool_size; ++i)
+      t_perm[i] = static_cast<std::uint32_t>(i);
+  }
+  const std::size_t words = (pool_size + 63) / 64;
+  t_selected.assign(words, 0);
+  t_touched.clear();
+  // The exact partial Fisher–Yates draw sequence of
+  // RngStream::sample_without_replacement — one uniform_index(pool - i)
+  // per output — so RNG consumption and the selected set are
+  // bit-identical to sample_from_pool's, with no allocation.
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(pool_size - i));
+    const std::uint32_t value = t_perm[j];
+    t_perm[j] = t_perm[i];
+    t_perm[i] = value;
+    t_touched.push_back(static_cast<std::uint32_t>(j));
+    t_selected[value >> 6] |= std::uint64_t{1} << (value & 63);
+  }
+  // Restore the identity permutation (only touched slots moved).
+  for (std::size_t i = 0; i < take; ++i)
+    t_perm[i] = static_cast<std::uint32_t>(i);
+  for (const std::uint32_t j : t_touched) t_perm[j] = j;
+  // Emit set bits in order: ascending indices over a key-sorted pool ==
+  // canonicalize's key sort, and without-replacement draws are distinct,
+  // so this replaces the former std::sort + unique outright.
+  out.reserve(take);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = t_selected[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      out.push_back(static_cast<std::uint32_t>(w * 64 +
+                                               static_cast<std::size_t>(bit)));
+    }
+  }
 }
 
 }  // namespace mwr::apr

@@ -56,4 +56,17 @@ void canonicalize(Patch& patch);
 [[nodiscard]] Patch sample_from_pool(std::span<const Mutation> pool,
                                      std::size_t size, util::RngStream& rng);
 
+/// Index-space twin of sample_from_pool for key-sorted, deduplicated pools
+/// (the MutationPool invariant): draws the identical without-replacement
+/// index sequence from `rng`, then emits the *indices* ascending into
+/// `out` (via a selection bitmap — no allocation, no sort; scratch is
+/// per-thread).  Because pool order is key order, the indexed result names
+/// exactly the canonical patch sample_from_pool would build — same RNG
+/// consumption, same patch bytes — without materializing Mutations or
+/// paying the per-patch canonicalize sort.  The probe wave's sampling
+/// primitive (DESIGN.md §14).
+void sample_from_pool_indexed(std::size_t pool_size, std::size_t size,
+                              util::RngStream& rng,
+                              std::vector<std::uint32_t>& out);
+
 }  // namespace mwr::apr

@@ -22,6 +22,9 @@ void OracleCache::prime(std::vector<std::uint64_t> sorted_keys,
                         std::vector<MutationSemantics> semantics) {
   if (primed() && sorted_keys == pool_keys_) return;
   primed_.store(false, std::memory_order_release);
+  // A different pool invalidates any installed wave table with it.
+  wave_ready_.store(false, std::memory_order_release);
+  wave_ = WaveTable{};
   pool_keys_ = std::move(sorted_keys);
   pool_semantics_ = std::move(semantics);
   // Key -> pool-index table at load factor <= 1/4: one or two probes per
@@ -45,6 +48,11 @@ void OracleCache::prime(std::vector<std::uint64_t> sorted_keys,
   // (zero-initialized == kPairUnknown).
   pairs_ = std::vector<std::atomic<std::uint8_t>>(slots);
   primed_.store(true, std::memory_order_release);
+}
+
+void OracleCache::install_wave(WaveTable table) {
+  wave_ = std::move(table);
+  wave_ready_.store(true, std::memory_order_release);
 }
 
 bool OracleCache::primed_with(std::span<const std::uint64_t> keys) const {

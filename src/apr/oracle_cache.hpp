@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apr/mutation.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -186,6 +187,39 @@ class OracleCache {
     return mask;
   }
 
+  // --- probe-wave table (eager per-oracle evaluation operands) ---
+
+  /// Everything a pooled-patch evaluation needs, flattened for the SIMD
+  /// probe-mask kernels: per-member broken masks as a gatherable u64 array,
+  /// safe / repair-relevant membership as bitsets over pool indices, and
+  /// the sparse symmetric CSR of interfering safe pairs (partner index +
+  /// interference mask per edge, both directions stored — the OR fold is
+  /// idempotent, so walking each edge twice is harmless).  Built once by
+  /// TestOracle::prime_wave; read lock-free by every evaluate_pooled.
+  struct WaveTable {
+    std::vector<Mutation> pool;                 ///< the primed members, so
+                                                ///< mappers can verify full
+                                                ///< equality (not just key).
+    std::vector<std::uint64_t> masks;           ///< broken mask per member.
+    std::vector<std::uint64_t> safe_words;      ///< bitset: broken_mask == 0.
+    std::vector<std::uint64_t> relevant_words;  ///< bitset: counts toward
+                                                ///< the repair threshold.
+    std::vector<std::uint32_t> partner_offsets; ///< CSR row starts, size n+1.
+    std::vector<std::uint32_t> partner_idx;     ///< interfering partner.
+    std::vector<std::uint64_t> partner_masks;   ///< that pair's broken bit.
+  };
+
+  /// Installs the wave table for the currently primed pool.  Same no-race
+  /// contract as prime(); re-priming with a different pool drops it.
+  void install_wave(WaveTable table);
+
+  [[nodiscard]] bool wave_ready() const noexcept {
+    return wave_ready_.load(std::memory_order_acquire);
+  }
+
+  /// Valid only while wave_ready().
+  [[nodiscard]] const WaveTable& wave() const noexcept { return wave_; }
+
  private:
   /// SplitMix64 finalizer — scrambles the structured mutation-key bits
   /// into table-probe entropy.
@@ -232,6 +266,9 @@ class OracleCache {
   std::size_t pair_dimension_ = 0;
   std::vector<std::atomic<std::uint8_t>> pairs_;
   std::atomic<bool> primed_{false};
+
+  WaveTable wave_;
+  std::atomic<bool> wave_ready_{false};
 };
 
 }  // namespace mwr::apr

@@ -55,6 +55,30 @@ RepairSession::RepairSession(const MwRepairConfig& config,
   cycle_seconds_ = &metrics.histogram("repair.online.cycle_seconds");
   phase_seconds_ = &metrics.histogram("phase.online.seconds");
   repaired_gauge_ = &metrics.gauge("repair.repaired");
+
+  // Wave fast path: usable when the shared oracle carries an eager wave
+  // table and every working-pool member is byte-equal to the primed pool
+  // member its key names.  Key equality alone is not enough — a swap's
+  // key orders its operands, and the wave's relevance bits bake in the
+  // coverage of the pool member's concrete target.  The map is monotone
+  // (both pools are key-sorted), so ascending working indices translate
+  // to ascending primed indices and the canonical patch order survives.
+  if (oracle.wave_ready()) {
+    const std::span<const Mutation> wave_pool = oracle.wave_pool();
+    wave_map_.reserve(pool.size());
+    bool mapped = true;
+    for (const Mutation& m : pool.mutations()) {
+      const std::size_t idx = oracle.pool_index_of(m);
+      if (idx == OracleCache::npos || !(wave_pool[idx] == m)) {
+        mapped = false;
+        break;
+      }
+      wave_map_.push_back(static_cast<std::uint32_t>(idx));
+    }
+    wave_fast_path_ = mapped;
+    wave_identity_ = mapped && wave_map_.size() == wave_pool.size();
+    if (!mapped) wave_map_.clear();
+  }
 }
 
 void RepairSession::finish(bool repaired) {
@@ -63,60 +87,101 @@ void RepairSession::finish(bool repaired) {
   repaired_gauge_->set(repaired ? 1.0 : 0.0);
 }
 
-bool RepairSession::step(parallel::ThreadPool* workers) {
-  if (done_) return true;
-  const MwRepairConfig& cfg = repair_.config();
-  const auto max_count = static_cast<double>(cfg.max_count);
-
-  const obs::ScopedTimer cycle_timer(*cycle_seconds_);
-  const auto probes = strategy_->sample(rng_);           // MWU_Sample
+std::size_t RepairSession::begin_cycle() {
+  if (done_) return 0;
+  staged_arms_ = strategy_->sample(rng_);                // MWU_Sample
   patches_.clear();
+  index_patches_.clear();
   acceptance_.clear();
-  for (const std::size_t arm : probes) {
+  for (const std::size_t arm : staged_arms_) {
     const std::size_t count =
         std::min(repair_.count_for_arm(arm), pool_->size());
-    patches_.push_back(sample_from_pool(pool_->mutations(), count, rng_));
+    if (wave_fast_path_) {
+      // Identical without-replacement draws, sorted in index space: pool
+      // order is key order, so this names exactly the canonical patch
+      // sample_from_pool would materialize (same RNG consumption, same
+      // patch bytes) without constructing Mutations or sorting them.
+      index_patches_.emplace_back();
+      sample_from_pool_indexed(pool_->size(), count, rng_,
+                               index_patches_.back());
+    } else {
+      patches_.push_back(sample_from_pool(pool_->mutations(), count, rng_));
+    }
     acceptance_.push_back(rng_.uniform());
   }
   // Fold this cycle's draws into the trajectory fingerprint before the
   // (order-free) evaluations, so the hash pins the stochastic sequence.
+  const std::size_t n = staged_arms_.size();
   trajectory_hash_ = fnv_fold(trajectory_hash_, outcome_.iterations);
-  for (std::size_t j = 0; j < probes.size(); ++j) {
-    trajectory_hash_ = fnv_fold(trajectory_hash_, probes[j]);
+  for (std::size_t j = 0; j < n; ++j) {
+    trajectory_hash_ = fnv_fold(trajectory_hash_, staged_arms_[j]);
     trajectory_hash_ = fnv_fold(trajectory_hash_,
                                 std::bit_cast<std::uint64_t>(acceptance_[j]));
-    for (const Mutation& m : patches_[j]) {
-      trajectory_hash_ = fnv_fold(trajectory_hash_, m.key());
+    if (wave_fast_path_) {
+      for (const std::uint32_t w : index_patches_[j]) {
+        trajectory_hash_ =
+            fnv_fold(trajectory_hash_, pool_->mutations()[w].key());
+      }
+    } else {
+      for (const Mutation& m : patches_[j]) {
+        trajectory_hash_ = fnv_fold(trajectory_hash_, m.key());
+      }
     }
   }
+  evaluations_.assign(n, Evaluation{});
+  outcome_.probes += n;
+  probes_last_cycle_ = n;
+  probe_counter_->add(n);
+  return n;
+}
 
-  evaluations_.assign(patches_.size(), Evaluation{});    // parallel evaluation
-  if (workers != nullptr) {
-    workers->parallel_for_index(patches_.size(), [&](std::size_t j) {
-      evaluations_[j] = oracle_->evaluate(patches_[j]);
-    });
-  } else {
-    for (std::size_t j = 0; j < patches_.size(); ++j) {
-      evaluations_[j] = oracle_->evaluate(patches_[j]);
-    }
+void RepairSession::evaluate_staged(std::size_t j) {
+  if (!wave_fast_path_) {
+    evaluations_[j] = oracle_->evaluate(patches_[j]);
+    return;
   }
-  outcome_.probes += patches_.size();
-  probes_last_cycle_ = patches_.size();
-  probe_counter_->add(patches_.size());
+  if (wave_identity_) {
+    evaluations_[j] = oracle_->evaluate_pooled(index_patches_[j]);
+    return;
+  }
+  // Translate working-pool positions to primed positions (monotone map:
+  // ascending stays ascending).
+  thread_local std::vector<std::uint32_t> mapped;
+  const std::vector<std::uint32_t>& widx = index_patches_[j];
+  mapped.resize(widx.size());
+  for (std::size_t i = 0; i < widx.size(); ++i) mapped[i] = wave_map_[widx[i]];
+  evaluations_[j] = oracle_->evaluate_pooled(mapped);
+}
 
-  rewards_.assign(probes.size(), 0.0);
-  for (std::size_t j = 0; j < patches_.size(); ++j) {
+bool RepairSession::finish_cycle(double elapsed_seconds) {
+  const MwRepairConfig& cfg = repair_.config();
+  const auto max_count = static_cast<double>(cfg.max_count);
+  online_seconds_ += elapsed_seconds;
+
+  const std::size_t n = staged_arms_.size();
+  rewards_.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
     const Evaluation& e = evaluations_[j];
+    const std::size_t patch_size =
+        wave_fast_path_ ? index_patches_[j].size() : patches_[j].size();
     if (e.is_repair()) {                                 // terminate early
       outcome_.repaired = true;
-      outcome_.patch = patches_[j];
+      if (wave_fast_path_) {
+        // Materialize the winning patch (ascending indices over the
+        // key-sorted pool == the canonical Patch).
+        outcome_.patch.clear();
+        for (const std::uint32_t w : index_patches_[j]) {
+          outcome_.patch.push_back(pool_->mutations()[w]);
+        }
+      } else {
+        outcome_.patch = patches_[j];
+      }
       outcome_.iterations += 1;
-      outcome_.preferred_count = patches_[j].size();
+      outcome_.preferred_count = patch_size;
       outcome_.arm_probabilities = strategy_->probabilities();
       cycle_counter_->add(1);
       trajectory_hash_ = fnv_fold(trajectory_hash_, 0x5245504152ull);  // tag
       trajectory_hash_ = fnv_fold(trajectory_hash_, j);
-      online_seconds_ += cycle_timer.elapsed_seconds();
       finish(true);
       return true;
     }
@@ -130,8 +195,7 @@ bool RepairSession::step(parallel::ThreadPool* workers) {
         // E[reward | x] proportional to x * P(pass | x).
         rewards_[j] =
             (fitness_kept &&
-             acceptance_[j] <
-                 static_cast<double>(patches_[j].size()) / max_count)
+             acceptance_[j] < static_cast<double>(patch_size) / max_count)
                 ? 1.0
                 : 0.0;
         break;
@@ -141,10 +205,9 @@ bool RepairSession::step(parallel::ThreadPool* workers) {
     trajectory_hash_ =
         fnv_fold(trajectory_hash_, std::bit_cast<std::uint64_t>(r));
   }
-  strategy_->update(probes, rewards_, rng_);             // MWU_Update
+  strategy_->update(staged_arms_, rewards_, rng_);       // MWU_Update
   ++outcome_.iterations;
   cycle_counter_->add(1);
-  online_seconds_ += cycle_timer.elapsed_seconds();
 
   if (outcome_.iterations >= cfg.max_iterations) {
     // Budget exhausted (Fig 6: return null).
@@ -154,6 +217,18 @@ bool RepairSession::step(parallel::ThreadPool* workers) {
     return true;
   }
   return false;
+}
+
+bool RepairSession::step(parallel::ThreadPool* workers) {
+  if (done_) return true;
+  const obs::ScopedTimer cycle_timer(*cycle_seconds_);
+  const std::size_t n = begin_cycle();
+  if (workers != nullptr) {
+    workers->parallel_for_index(n, [&](std::size_t j) { evaluate_staged(j); });
+  } else {
+    for (std::size_t j = 0; j < n; ++j) evaluate_staged(j);
+  }
+  return finish_cycle(cycle_timer.elapsed_seconds());
 }
 
 RepairSession::State RepairSession::save() const {

@@ -2,8 +2,10 @@
 
 #include "apr/fault_localization.hpp"
 #include "obs/registry.hpp"
+#include "util/simd/weight_kernels.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -258,6 +260,126 @@ Evaluation TestOracle::evaluate(std::span<const Mutation> patch) const {
   result.bug_test_passed =
       relevant >= spec.min_repair_edits && spec.min_repair_edits > 0;
   return result;
+}
+
+Evaluation TestOracle::evaluate_pooled(
+    std::span<const std::uint32_t> pool_indices) const {
+  suite_runs_.fetch_add(1, std::memory_order_relaxed);
+  const auto& spec = program_->spec();
+  const OracleCache::WaveTable& wave = cache_->wave();
+  const util::simd::WeightKernels& kernels = util::simd::active();
+
+  // Per-member breakage is one gather-OR over the flat mask array; safe
+  // and relevant counts are bitset intersections against the patch's
+  // pool-membership bitmap.  All integer ops — bit-identical to the
+  // member loop of evaluate() by construction.
+  std::uint64_t broken = kernels.mask_or_gather(
+      wave.masks.data(), pool_indices.data(), pool_indices.size());
+
+  thread_local std::vector<std::uint64_t> member_words;
+  const std::size_t words = wave.safe_words.size();
+  member_words.assign(words, 0);
+  for (const std::uint32_t i : pool_indices) {
+    member_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  const std::size_t n_safe = kernels.popcount_and(
+      wave.safe_words.data(), member_words.data(), words);
+  const std::size_t relevant = kernels.popcount_and(
+      wave.relevant_words.data(), member_words.data(), words);
+
+  // Pairwise interference: walk each safe member's precomputed partner
+  // row and OR the masks of partners that are also in the patch.  The
+  // CSR is symmetric, so every interfering pair is visited twice — OR is
+  // idempotent, and the double visit beats a per-edge direction test.
+  for (const std::uint32_t i : pool_indices) {
+    if (((wave.safe_words[i >> 6] >> (i & 63)) & 1) == 0) continue;
+    const std::uint32_t end = wave.partner_offsets[i + 1];
+    for (std::uint32_t o = wave.partner_offsets[i]; o < end; ++o) {
+      const std::uint32_t j = wave.partner_idx[o];
+      if ((member_words[j >> 6] >> (j & 63)) & 1) {
+        broken |= wave.partner_masks[o];
+      }
+    }
+  }
+
+  // Book the exact cache traffic a fully warm evaluate() of this patch
+  // would: one mask hit per member, one pair hit per safe pair.
+  mask_hits_->add(pool_indices.size());
+  if (n_safe >= 2) pair_hits_->add(n_safe * (n_safe - 1) / 2);
+
+  Evaluation result;
+  result.required_total = required_tests_;
+  result.required_passed =
+      required_tests_ - static_cast<std::uint32_t>(std::popcount(broken));
+  result.bug_test_passed =
+      relevant >= spec.min_repair_edits && spec.min_repair_edits > 0;
+  return result;
+}
+
+void TestOracle::prime_wave(std::span<const Mutation> pool) const {
+  if (!cache_ || pool.empty()) return;
+  prime_cache(pool);
+  if (cache_->wave_ready()) return;  // same pool: prime_cache kept the wave.
+  if (pool.size() > OracleCache::kMaxPairDimension) return;
+  const auto& spec = program_->spec();
+  const std::size_t n = pool.size();
+  const std::size_t words = (n + 63) / 64;
+  OracleCache::WaveTable wave;
+  wave.pool.assign(pool.begin(), pool.end());
+  wave.masks.resize(n);
+  wave.safe_words.assign(words, 0);
+  wave.relevant_words.assign(words, 0);
+  std::vector<std::uint32_t> safe_list;
+  for (std::size_t i = 0; i < n; ++i) {
+    const MutationSemantics& s = cache_->pooled(i);
+    wave.masks[i] = s.broken_mask;
+    if (s.broken_mask != 0) continue;
+    wave.safe_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+    safe_list.push_back(static_cast<std::uint32_t>(i));
+    if (s.relevance_hash_pass &&
+        (!spec.relevance_localized ||
+         failing_test_covers(spec, pool[i].target))) {
+      wave.relevant_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+  }
+  // Every interference hash the pooled scenario can charge, paid once:
+  // C(n_safe, 2) hashes here amortize over thousands of per-probe pair
+  // loops.  Pool indices ascend with keys, so (a, b) is already (lo, hi).
+  std::vector<std::array<std::uint32_t, 2>> edges;
+  std::vector<std::uint64_t> edge_masks;
+  for (std::size_t x = 0; x < safe_list.size(); ++x) {
+    for (std::size_t y = x + 1; y < safe_list.size(); ++y) {
+      const std::uint32_t a = safe_list[x];
+      const std::uint32_t b = safe_list[y];
+      const std::uint64_t mask =
+          pair_interference_mask(cache_->pool_key(a), cache_->pool_key(b));
+      if (mask == 0) continue;
+      edges.push_back({a, b});
+      edge_masks.push_back(mask);
+    }
+  }
+  // Symmetric CSR: count degrees, prefix-sum, fill both directions.
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const auto& e : edges) {
+    ++degree[e[0]];
+    ++degree[e[1]];
+  }
+  wave.partner_offsets.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    wave.partner_offsets[i + 1] = wave.partner_offsets[i] + degree[i];
+  }
+  wave.partner_idx.resize(2 * edges.size());
+  wave.partner_masks.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(wave.partner_offsets.begin(),
+                                    wave.partner_offsets.end() - 1);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [a, b] = edges[e];
+    wave.partner_idx[cursor[a]] = b;
+    wave.partner_masks[cursor[a]++] = edge_masks[e];
+    wave.partner_idx[cursor[b]] = a;
+    wave.partner_masks[cursor[b]++] = edge_masks[e];
+  }
+  cache_->install_wave(std::move(wave));
 }
 
 void TestOracle::prime_cache(std::span<const Mutation> pool) const {

@@ -99,6 +99,48 @@ class TestOracle {
   /// primed.  Must not race evaluate(); does not count suite runs.
   void prime_cache(std::span<const Mutation> pool) const;
 
+  /// Builds the eager probe-wave table over `pool` (implies prime_cache):
+  /// per-member broken masks flattened for the SIMD gather kernel,
+  /// safe / repair-relevant bitsets with the localized-coverage predicate
+  /// folded in, and the sparse CSR of interfering safe pairs — every pair
+  /// hash the scenario can ever charge a pooled probe, paid once.  Pools
+  /// larger than OracleCache::kMaxPairDimension skip the wave (the eager
+  /// pair pass would not amortize); evaluate() works identically either
+  /// way.  Same no-race contract as prime_cache; no suite runs counted.
+  /// Opt-in: only multi-tenant owners (serve's OracleHub) call this —
+  /// single-shot runs keep the lazy path and its cache-counter semantics.
+  void prime_wave(std::span<const Mutation> pool) const;
+
+  /// True once prime_wave has installed the table for the current pool.
+  [[nodiscard]] bool wave_ready() const noexcept {
+    return cache_ && cache_->wave_ready();
+  }
+
+  /// The wave's primed pool members (valid only while wave_ready()) —
+  /// what mappers compare against for full-equality verification.
+  [[nodiscard]] std::span<const Mutation> wave_pool() const noexcept {
+    return cache_->wave().pool;
+  }
+
+  /// Pooled twin of evaluate() for wave-ready oracles: `pool_indices`
+  /// names the patch as strictly ascending positions in the primed pool
+  /// (the canonical patch in index space — see sample_from_pool_indexed).
+  /// Bit-identical to evaluate() over the same mutations, counts one
+  /// suite run, and books the same mask/pair cache-hit deltas a fully
+  /// warm evaluate() would, so ledgers and telemetry cannot tell the
+  /// paths apart.
+  [[nodiscard]] Evaluation evaluate_pooled(
+      std::span<const std::uint32_t> pool_indices) const;
+
+  /// Pool position of `m` in the primed pool, or OracleCache::npos when
+  /// not primed / not pooled.  Key lookup only — callers mapping working
+  /// sets must verify full Mutation equality against the pool member (a
+  /// swap's key orders its operands; coverage depends on the concrete
+  /// target).
+  [[nodiscard]] std::size_t pool_index_of(const Mutation& m) const {
+    return cache_ ? cache_->pool_index(m.key()) : OracleCache::npos;
+  }
+
   [[nodiscard]] bool cache_enabled() const noexcept {
     return cache_ != nullptr;
   }

@@ -45,8 +45,13 @@ inline constexpr std::size_t kDefaultFiberStackBytes = 128 * 1024;
 
 class Fiber {
  public:
-  /// Prepares (but does not start) a fiber executing `entry`.
+  /// Prepares (but does not start) a fiber executing `entry`, allocating
+  /// a private stack.
   Fiber(std::function<void()> entry, std::size_t stack_bytes);
+  /// Same, but on a caller-owned stack (recycled across runs by the
+  /// persistent superstep engine).  The stack must stay valid for the
+  /// fiber's lifetime and must not be shared with a live fiber.
+  Fiber(std::function<void()> entry, char* stack, std::size_t stack_bytes);
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -73,7 +78,8 @@ class Fiber {
 
   std::function<void()> entry_;
   std::size_t stack_bytes_;
-  std::unique_ptr<char[]> stack_;
+  std::unique_ptr<char[]> stack_;   // owned storage; null for external stacks.
+  char* stack_base_ = nullptr;      // the stack in use, owned or external.
   ucontext_t context_{};
   ucontext_t* return_context_ = nullptr;
   // Fast-switch substrate: the fiber's saved stack pointer and the worker

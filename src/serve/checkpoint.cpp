@@ -1,5 +1,9 @@
 #include "serve/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -254,21 +258,40 @@ CampaignCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
   return checkpoint;
 }
 
-std::size_t write_checkpoint_file(const CampaignCheckpoint& checkpoint,
-                                  const std::string& path) {
-  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+std::size_t write_checkpoint_bytes(std::span<const std::uint8_t> bytes,
+                                   const std::string& path, bool sync) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file)
-      throw std::runtime_error("checkpoint: cannot open " + tmp);
-    file.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
-    if (!file) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw std::runtime_error("checkpoint: cannot open " + tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("checkpoint: write failed: " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
   }
+  // Durability before visibility: the rename must never publish a file
+  // whose data is still only in the page cache.
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("checkpoint: fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0)
+    throw std::runtime_error("checkpoint: close failed: " + tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw std::runtime_error("checkpoint: rename failed: " + path);
   return bytes.size();
+}
+
+std::size_t write_checkpoint_file(const CampaignCheckpoint& checkpoint,
+                                  const std::string& path) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  return write_checkpoint_bytes(bytes, path, /*sync=*/false);
 }
 
 CampaignCheckpoint read_checkpoint_file(const std::string& path) {

@@ -63,6 +63,14 @@ struct CampaignCheckpoint {
 std::size_t write_checkpoint_file(const CampaignCheckpoint& checkpoint,
                                   const std::string& path);
 
+/// The raw byte layer of write_checkpoint_file: writes `bytes` to
+/// `path + ".tmp"` (fsync'd before the rename when `sync` — the async
+/// writer's durability discipline; a kill -9 mid-flush leaves only the
+/// tmp file, which restore_from_dir ignores), then renames over `path`.
+/// Returns bytes.size().  Throws std::runtime_error on I/O failure.
+std::size_t write_checkpoint_bytes(std::span<const std::uint8_t> bytes,
+                                   const std::string& path, bool sync);
+
 /// Reads and decodes one checkpoint file.
 [[nodiscard]] CampaignCheckpoint read_checkpoint_file(const std::string& path);
 

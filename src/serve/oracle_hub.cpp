@@ -133,8 +133,11 @@ apr::ScenarioServices::OracleLease OracleHub::oracle_for(
     auto program = std::make_shared<const apr::ProgramModel>(spec);
     auto oracle = std::make_shared<const apr::TestOracle>(*program);
     // Nothing else can see this oracle until `ready` flips below, so the
-    // prime cannot race an evaluate().
-    if (warm) oracle->prime_cache(warm->mutations());
+    // prime cannot race an evaluate().  prime_wave = prime_cache plus the
+    // eager wave table (flat masks, safe/relevant bitsets, interference
+    // CSR): every pair hash the pooled scenario can charge, paid once here
+    // and amortized over every tenant's probe waves.
+    if (warm) oracle->prime_wave(warm->mutations());
     lease.program = std::move(program);
     lease.oracle = std::move(oracle);
     lease.shared = true;

@@ -10,6 +10,8 @@
 #include "obs/serialization.hpp"
 #include "parallel/superstep.hpp"
 #include "serve/checkpoint.hpp"
+#include "serve/checkpoint_writer.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace mwr::serve {
@@ -30,6 +32,43 @@ CampaignServer::CampaignServer(ServerConfig config)
 }
 
 CampaignServer::~CampaignServer() = default;
+
+parallel::SuperstepEngine& CampaignServer::engine() {
+  if (!engine_) {
+    // One rank is a placeholder — epochs drive the engine exclusively
+    // through parallel_for, whose geometry is the wave size.  The worker
+    // pool persists for the server's lifetime: no per-epoch spawn/join.
+    engine_ = std::make_unique<parallel::SuperstepEngine>(
+        1, parallel::SuperstepEngine::Config{config_.workers});
+  }
+  return *engine_;
+}
+
+CheckpointWriter& CampaignServer::writer() {
+  if (!writer_) {
+    std::filesystem::create_directories(config_.checkpoint_dir);
+    writer_ = std::make_unique<CheckpointWriter>();
+  }
+  return *writer_;
+}
+
+double CampaignServer::checkpoint_writer_seconds() const {
+  return writer_ ? writer_->stats().writer_seconds : 0.0;
+}
+
+void CampaignServer::record_probe_latency(double seconds) {
+  if (latency_window_.size() < kLatencyWindowCapacity) {
+    latency_window_.push_back(seconds);
+  } else {
+    latency_window_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindowCapacity;
+  }
+  probe_seconds_->observe(seconds);
+}
+
+std::vector<double> CampaignServer::probe_latency_seconds() const {
+  return latency_window_;
+}
 
 std::optional<std::uint64_t> CampaignServer::submit(
     const SubmitRequest& request) {
@@ -58,49 +97,144 @@ bool CampaignServer::run_epoch() {
       scheduler_.begin_epoch();
   if (grants.empty()) return false;
 
-  // One fiber per granted campaign on a bounded worker pool.  Sessions
-  // are disjoint; the hub and the metrics registry synchronize
-  // internally; the maps are not mutated until the engine has joined.
-  std::vector<std::size_t> used(grants.size(), 0);
-  std::vector<std::size_t> probes(grants.size(), 0);
-  std::vector<double> seconds(grants.size(), 0.0);
-  std::vector<std::string> errors(grants.size());
-  parallel::SuperstepEngine engine(
-      grants.size(), parallel::SuperstepEngine::Config{config_.workers});
-  engine.run([&](int rank) {
-    const auto i = static_cast<std::size_t>(rank);
-    const DeficitScheduler::Grant& grant = grants[i];
-    apr::CampaignSession& session = *running_.at(grant.id).session;
-    const util::WallTimer timer;
-    // A throwing session must fail only its own campaign.  The engine
-    // rethrows fiber exceptions out of run_epoch, which would take every
-    // resident tenant down with the one that misbehaved.
-    try {
-      used[i] = session.step(grant.budget, nullptr);
-      probes[i] = session.probes_last_step();
-    } catch (const std::exception& error) {
-      errors[i] = error.what();
-      if (errors[i].empty()) errors[i] = "campaign step failed";
-    } catch (...) {
-      errors[i] = "campaign step failed";
-    }
-    seconds[i] = timer.elapsed_seconds();
-  });
+  // The epoch pipeline: stage / wave / complete rounds until every
+  // grant's budget is consumed.  Per campaign the unit sequence is
+  // exactly step(budget)'s — only the interleaving across campaigns
+  // changes, and the batched evaluations are pure and order-free, so
+  // trajectories are bit-identical to the unpipelined server's.
+  const std::size_t n = grants.size();
+  std::vector<apr::CampaignSession*> sessions(n);
+  std::vector<std::size_t> remaining(n);
+  std::vector<std::size_t> used(n, 0);
+  std::vector<std::size_t> probes(n, 0);
+  std::vector<std::string> errors(n);
+  std::vector<char> active(n, 1);
+  std::vector<char> staged(n, 0);
+  std::vector<std::size_t> staged_probes(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sessions[i] = running_.at(grants[i].id).session.get();
+    remaining[i] = grants[i].budget;
+  }
 
+  struct WaveEntry {
+    std::uint32_t campaign;
+    std::uint32_t probe;
+  };
+  std::vector<WaveEntry> wave;
+  util::Mutex error_mutex;  // only touched on the (cold) eval-error path.
+  double wave_seconds_total = 0.0;
+  std::uint64_t wave_probes_total = 0;
+
+  for (;;) {
+    // Stage: ascending grant order.  Setup units (precompute, bug start,
+    // finalize) run inline; a campaign pauses once it has one online
+    // cycle's probes staged, so each round contributes at most one MWU
+    // cycle per campaign to the wave.
+    wave.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      try {
+        while (remaining[i] > 0) {
+          std::size_t nprobes = 0;
+          const std::size_t charge = sessions[i]->stage_unit(nprobes);
+          if (charge == 0) {  // campaign finished during a setup unit.
+            active[i] = 0;
+            break;
+          }
+          used[i] += charge;
+          remaining[i] -= charge;
+          if (sessions[i]->unit_staged()) {
+            staged[i] = 1;
+            staged_probes[i] = nprobes;
+            probes[i] += nprobes;
+            for (std::size_t j = 0; j < nprobes; ++j) {
+              wave.push_back({static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j)});
+            }
+            break;
+          }
+          if (sessions[i]->done()) {
+            active[i] = 0;
+            break;
+          }
+        }
+        if (active[i] && !staged[i] && remaining[i] == 0) active[i] = 0;
+      } catch (const std::exception& error) {
+        errors[i] = error.what();
+        if (errors[i].empty()) errors[i] = "campaign stage failed";
+        active[i] = 0;
+      } catch (...) {
+        errors[i] = "campaign stage failed";
+        active[i] = 0;
+      }
+    }
+    if (wave.empty()) break;  // nothing staged: every budget drained.
+
+    // Wave: the whole cross-campaign batch in one deterministic parallel
+    // sweep (the split happened above, before fan-out).  A throwing
+    // evaluation fails only its own campaign, never the sweep.
+    const util::WallTimer wave_timer;
+    engine().parallel_for(wave.size(), [&](std::size_t k) {
+      const WaveEntry entry = wave[k];
+      try {
+        sessions[entry.campaign]->evaluate_staged(entry.probe);
+      } catch (const std::exception& error) {
+        util::MutexLock lock(error_mutex);
+        std::string& slot = errors[entry.campaign];
+        if (slot.empty()) slot = error.what();
+        if (slot.empty()) slot = "campaign probe failed";
+      } catch (...) {
+        util::MutexLock lock(error_mutex);
+        std::string& slot = errors[entry.campaign];
+        if (slot.empty()) slot = "campaign probe failed";
+      }
+    });
+    const double wave_seconds = wave_timer.elapsed_seconds();
+    wave_seconds_total += wave_seconds;
+    wave_probes_total += wave.size();
+
+    // Complete: ascending grant order; rewards + MWU update, with wall
+    // time attributed to each campaign in proportion to its probes
+    // (telemetry only — never trajectory-relevant).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!staged[i]) continue;
+      staged[i] = 0;
+      if (!errors[i].empty()) {
+        active[i] = 0;  // evaluation failed: do not complete on garbage.
+        continue;
+      }
+      const double share =
+          wave_seconds * static_cast<double>(staged_probes[i]) /
+          static_cast<double>(wave.size());
+      try {
+        sessions[i]->complete_unit(share);
+        if (sessions[i]->done() || remaining[i] == 0) active[i] = 0;
+      } catch (const std::exception& error) {
+        errors[i] = error.what();
+        if (errors[i].empty()) errors[i] = "campaign update failed";
+        active[i] = 0;
+      } catch (...) {
+        errors[i] = "campaign update failed";
+        active[i] = 0;
+      }
+    }
+  }
+
+  // Settle and retire.  Per-probe latency is the epoch's aggregate wave
+  // rate, sampled once per campaign-epoch that issued probes.
+  const double per_probe =
+      wave_probes_total != 0
+          ? wave_seconds_total / static_cast<double>(wave_probes_total)
+          : 0.0;
   std::vector<std::uint64_t> retired;
   std::vector<std::uint64_t> failed;
-  for (std::size_t i = 0; i < grants.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const DeficitScheduler::Grant& grant = grants[i];
     scheduler_.settle(grant.id, used[i]);
     Campaign& campaign = running_.at(grant.id);
     campaign.online_cycles += used[i];
     campaign.online_probes += probes[i];
-    if (probes[i] > 0) {
-      const double per_probe =
-          seconds[i] / static_cast<double>(probes[i]);
-      probe_latency_seconds_.push_back(per_probe);
-      probe_seconds_->observe(per_probe);
-    }
+    if (probes[i] > 0) record_probe_latency(per_probe);
     if (!errors[i].empty()) {
       campaign.error = errors[i];
       failed.push_back(grant.id);
@@ -131,7 +265,11 @@ bool CampaignServer::run_epoch() {
   resident_gauge_->set(static_cast<double>(running_.size()));
   if (!config_.checkpoint_dir.empty() && config_.checkpoint_every != 0 &&
       epochs_run_ % config_.checkpoint_every == 0 && !running_.empty()) {
-    checkpoint_all();
+    // Periodic checkpoints are fully async: serialize dirty campaigns,
+    // queue the writes, keep scheduling.  No flush — durability at the
+    // periodic cadence is best-effort by design; the explicit
+    // checkpoint_all is the barrier.
+    checkpoint_bytes_->add(enqueue_dirty_checkpoints());
   }
   return true;
 }
@@ -143,18 +281,17 @@ void CampaignServer::drain() {
 
 void CampaignServer::finish_campaign(Campaign&& campaign) {
   const apr::CampaignOutcome& outcome = campaign.session->outcome();
-  // dump(2) + newline: byte-identical to what repair_tool --outcome-out
-  // writes for the same campaign (the one-schema satellite).
-  campaign.result_json = apr::outcome_to_json(outcome).dump(/*indent=*/2);
-  campaign.result_json += "\n";
   campaign.final_hash = campaign.session->trajectory_hash();
   campaign.repaired = outcome.repaired();
   campaign.bugs_done = outcome.bugs.size();
+  // Keep the outcome; result() renders the document on first fetch.
+  campaign.outcome = std::make_unique<apr::CampaignOutcome>(outcome);
   campaign.session.reset();  // drop pool/lease memory; keep the ledger.
   scheduler_.remove(campaign.id);
   if (!config_.checkpoint_dir.empty()) {
-    std::error_code ignored;
-    std::filesystem::remove(checkpoint_path(campaign.id), ignored);
+    // Route the removal through the writer so it orders after (and
+    // cancels) any in-flight write for this campaign.
+    writer().enqueue_remove(campaign.id, checkpoint_path(campaign.id));
   }
   completed_->add(1);
   const std::uint64_t id = campaign.id;
@@ -173,8 +310,7 @@ void CampaignServer::fail_campaign(Campaign&& campaign) {
   campaign.session.reset();
   scheduler_.remove(campaign.id);
   if (!config_.checkpoint_dir.empty()) {
-    std::error_code ignored;
-    std::filesystem::remove(checkpoint_path(campaign.id), ignored);
+    writer().enqueue_remove(campaign.id, checkpoint_path(campaign.id));
   }
   ++failed_count_;
   failed_counter_->add(1);
@@ -224,8 +360,17 @@ ResultReply CampaignServer::result(std::uint64_t campaign_id) const {
   ResultReply reply;
   reply.campaign_id = campaign_id;
   if (const auto it = finished_.find(campaign_id); it != finished_.end()) {
+    const Campaign& campaign = it->second;
+    if (campaign.result_json.empty() && campaign.outcome != nullptr) {
+      // dump(2) + newline: byte-identical to what repair_tool
+      // --outcome-out writes for the same campaign (the one-schema
+      // satellite), just rendered on demand instead of at retirement.
+      campaign.result_json =
+          apr::outcome_to_json(*campaign.outcome).dump(/*indent=*/2);
+      campaign.result_json += "\n";
+    }
     reply.ready = true;
-    reply.outcome_json = it->second.result_json;
+    reply.outcome_json = campaign.result_json;
   }
   return reply;
 }
@@ -235,19 +380,39 @@ std::string CampaignServer::checkpoint_path(std::uint64_t campaign_id) const {
          ".ckpt";
 }
 
-CheckpointReply CampaignServer::checkpoint_all() {
-  if (config_.checkpoint_dir.empty())
-    throw std::logic_error("CampaignServer: no checkpoint_dir configured");
-  std::filesystem::create_directories(config_.checkpoint_dir);
-  CheckpointReply reply;
-  for (const auto& [id, campaign] : running_) {
+std::uint64_t CampaignServer::enqueue_dirty_checkpoints() {
+  // The critical path pays only for campaigns that progressed since
+  // their last checkpoint: serialize the snapshot into a buffer and
+  // queue it.  The encoded bytes are identical to the synchronous
+  // write_checkpoint_file path — the writer adds durability (fsync), not
+  // format.
+  const util::WallTimer timer;
+  std::uint64_t bytes = 0;
+  CheckpointWriter& w = writer();
+  for (auto& [id, campaign] : running_) {
+    if (campaign.checkpointed_units == campaign.online_cycles) continue;
     CampaignCheckpoint checkpoint;
     checkpoint.campaign_id = id;
     checkpoint.request = campaign.request;
     checkpoint.snapshot = campaign.session->snapshot();
-    reply.bytes += write_checkpoint_file(checkpoint, checkpoint_path(id));
-    ++reply.campaigns;
+    std::vector<std::uint8_t> encoded = encode_checkpoint(checkpoint);
+    bytes += encoded.size();
+    w.enqueue_write(id, checkpoint_path(id), std::move(encoded));
+    campaign.checkpointed_units = campaign.online_cycles;
   }
+  checkpoint_critical_seconds_ += timer.elapsed_seconds();
+  return bytes;
+}
+
+CheckpointReply CampaignServer::checkpoint_all() {
+  if (config_.checkpoint_dir.empty())
+    throw std::logic_error("CampaignServer: no checkpoint_dir configured");
+  CheckpointReply reply;
+  reply.bytes = enqueue_dirty_checkpoints();
+  // Every resident campaign is covered after the flush: dirty ones by
+  // the writes just queued, clean ones by the file already on disk.
+  reply.campaigns = running_.size();
+  writer().flush();  // the explicit checkpoint's durability barrier.
   checkpoint_bytes_->add(reply.bytes);
   return reply;
 }
@@ -259,6 +424,8 @@ std::size_t CampaignServer::restore_from_dir() {
   std::error_code ec;
   for (const auto& entry :
        std::filesystem::directory_iterator(config_.checkpoint_dir, ec)) {
+    // ".ckpt" only: a stray ".ckpt.tmp" from a crash mid-flush is not a
+    // checkpoint (extension() of "x.ckpt.tmp" is ".tmp").
     if (entry.path().extension() == ".ckpt") files.push_back(entry.path());
   }
   if (ec) return 0;  // missing directory: nothing to restore.
@@ -276,6 +443,8 @@ std::size_t CampaignServer::restore_from_dir() {
                                      plan.config, &hub_);
     campaign.session->set_metric_scope("campaign/" +
                                        std::to_string(campaign.id));
+    // The file just read IS the current state: clean until it progresses.
+    campaign.checkpointed_units = campaign.online_cycles;
     next_id_ = std::max(next_id_, campaign.id + 1);
     if (campaign.session->done()) {
       finish_campaign(std::move(campaign));

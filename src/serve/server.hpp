@@ -1,34 +1,51 @@
 // CampaignServer: multiplexes many concurrent repair campaigns over one
-// bounded superstep engine.
+// persistent bounded worker pool.
 //
-// Execution model — repair-as-a-service:
+// Execution model — the epoch pipeline (DESIGN.md §14):
 //
 //   submit()     admission control: a campaign is admitted while the
 //                resident count is below the configured cap, planned via
 //                plan_campaign(), given "campaign/<id>/" scoped metrics,
 //                and registered with the deficit-round-robin scheduler.
-//   run_epoch()  one scheduling epoch: the DRR scheduler grants every
-//                resident campaign a unit budget, and a one-shot
-//                SuperstepEngine runs one fiber per granted campaign —
-//                each fiber advances its CampaignSession by at most its
-//                budget.  Thousands of campaigns co-schedule on a
-//                bounded worker pool (fibers are cheap; workers are
-//                cores), cross-campaign probes dedup through the shared
-//                OracleHub, and the per-fiber wall time is attributed to
-//                per-probe latency telemetry.  Campaigns that finish are
-//                retired: result JSON rendered (the same
-//                mwr-campaign-outcome-v1 document repair_tool emits),
-//                scheduler slot released, checkpoint file removed.
+//   run_epoch()  one scheduling epoch, pipelined in stage/wave/complete
+//                rounds over the resident SuperstepEngine (persistent
+//                workers; no per-epoch thread spawn/join):
+//                  stage    — in ascending grant order, each campaign
+//                             advances through setup units inline until
+//                             it stages one online MWU cycle's probes,
+//                             finishes, or exhausts its DRR budget.  The
+//                             unit sequence per campaign is exactly
+//                             step(budget)'s.
+//                  wave     — every staged probe across every campaign
+//                             is batched into one deterministic parallel
+//                             sweep (split before fan-out; evaluations
+//                             are pure and order-free) over the shared
+//                             workers and OracleHub caches.
+//                  complete — in ascending grant order, each staged
+//                             campaign applies rewards and its MWU
+//                             update; rounds repeat until every grant's
+//                             budget is consumed.  Trajectories are
+//                             bit-identical to the unpipelined server's.
+//                Campaigns that finish are retired: result JSON rendered
+//                (the same mwr-campaign-outcome-v1 document repair_tool
+//                emits), scheduler slot released, checkpoint removal
+//                routed through the async writer.
 //   checkpoint_all() / restore_from_dir()
-//                durability: every resident campaign's snapshot is
-//                written through serve/checkpoint.hpp; a fresh daemon
-//                reloads the directory and resumes every campaign
-//                bit-identically (the trajectory-hash pin).
+//                durability: the epoch path serializes only *dirty*
+//                campaigns (progress since their last checkpoint) into
+//                in-memory buffers and hands them to the CheckpointWriter
+//                thread, which does tmp + fsync + rename off the critical
+//                path.  An explicit checkpoint_all flushes the writer
+//                before replying; periodic epoch checkpoints do not.  A
+//                fresh daemon reloads the directory and resumes every
+//                campaign bit-identically (the trajectory-hash pin).
 //
 // The server itself is single-threaded: submit/run_epoch/checkpoint are
 // called from the daemon's control loop, never concurrently.  The only
-// intra-epoch concurrency is the engine's fibers, which touch disjoint
-// sessions plus the internally-synchronized hub and metrics registry.
+// intra-epoch concurrency is the engine's probe sweep, which touches
+// disjoint staged evaluations plus the internally-synchronized hub and
+// metrics registry — plus the writer thread, which only ever sees byte
+// buffers the critical path has already sealed.
 //
 // Fairness telemetry: serve.starved_epochs counts campaigns that ended
 // an epoch with zero units consumed while unfinished.  The DRR invariant
@@ -55,7 +72,13 @@ class Gauge;
 class Histogram;
 }  // namespace mwr::obs
 
+namespace mwr::parallel {
+class SuperstepEngine;
+}  // namespace mwr::parallel
+
 namespace mwr::serve {
+
+class CheckpointWriter;
 
 struct ServerConfig {
   std::size_t max_resident = 256;   ///< admission-control cap.
@@ -68,6 +91,10 @@ struct ServerConfig {
 
 class CampaignServer {
  public:
+  /// Probe-latency samples retained for percentile telemetry: a rolling
+  /// window, so a long-lived daemon's memory does not grow with epochs.
+  static constexpr std::size_t kLatencyWindowCapacity = 1024;
+
   explicit CampaignServer(ServerConfig config);
   ~CampaignServer();
 
@@ -106,20 +133,35 @@ class CampaignServer {
   /// for unknown ids).
   [[nodiscard]] ResultReply result(std::uint64_t campaign_id) const;
 
-  /// Per-fiber wall seconds divided by probes issued, one sample per
+  /// Wave wall seconds divided by wave probes, one sample per
   /// campaign-epoch that issued probes — the distribution behind the
-  /// bench's p50/p99 probe latency.
-  [[nodiscard]] const std::vector<double>& probe_latency_seconds()
-      const noexcept {
-    return probe_latency_seconds_;
-  }
+  /// bench's p50/p99 probe latency.  Returns the rolling window's
+  /// contents (at most kLatencyWindowCapacity samples; order is not
+  /// meaningful — consumers compute percentiles).
+  [[nodiscard]] std::vector<double> probe_latency_seconds() const;
 
-  /// Writes every resident campaign's checkpoint; returns the reply the
-  /// control plane sends (bytes written, campaigns covered).  Throws
-  /// std::logic_error when no checkpoint_dir is configured.
+  /// Wall seconds the epoch/checkpoint critical path spent serializing
+  /// snapshots and queueing them (everything checkpointing costs the
+  /// control loop; file I/O is checkpoint_writer_seconds()).
+  [[nodiscard]] double checkpoint_critical_seconds() const noexcept {
+    return checkpoint_critical_seconds_;
+  }
+  /// Wall seconds the async writer thread spent in file operations
+  /// (tmp write + fsync + rename), off the critical path.
+  [[nodiscard]] double checkpoint_writer_seconds() const;
+
+  /// Serializes every dirty resident campaign, queues the writes, and
+  /// flushes the writer (the durability barrier an explicit checkpoint
+  /// promises).  reply.campaigns counts every resident campaign whose
+  /// durable state is current after the call — clean campaigns are
+  /// covered by their existing file and cost no bytes; reply.bytes is
+  /// what this call actually serialized.  Throws std::logic_error when
+  /// no checkpoint_dir is configured, std::runtime_error when a write
+  /// failed.
   CheckpointReply checkpoint_all();
   /// Loads every "*.ckpt" in checkpoint_dir and resumes the campaigns;
-  /// returns how many were restored.
+  /// returns how many were restored.  Stray "*.ckpt.tmp" files (a crash
+  /// mid-flush) are ignored.
   std::size_t restore_from_dir();
 
   [[nodiscard]] const ServerConfig& config() const noexcept {
@@ -132,13 +174,26 @@ class CampaignServer {
     std::uint64_t id = 0;
     SubmitRequest request;
     std::unique_ptr<apr::CampaignSession> session;
-    std::string result_json;        ///< rendered at completion.
+    /// Final outcome, kept so the result document can be rendered on
+    /// first fetch instead of at retirement (most campaigns in a bulk
+    /// load are never fetched; rendering them all on the epoch path was
+    /// measurable).  Null for failed campaigns, which render their
+    /// error document eagerly.
+    std::unique_ptr<apr::CampaignOutcome> outcome;
+    /// Result document; lazily rendered from `outcome` (single-threaded
+    /// server, so the mutable cache is unsynchronized by design).
+    mutable std::string result_json;
     std::string error;              ///< non-empty = campaign failed.
     std::uint64_t final_hash = 0;
     std::uint64_t online_cycles = 0;
     std::uint64_t online_probes = 0;
     std::uint64_t repaired = 0;   ///< filled at completion.
     std::uint64_t bugs_done = 0;  ///< filled at completion.
+    /// online_cycles value at the last checkpoint of this campaign; the
+    /// dirty predicate is checkpointed_units != online_cycles (units
+    /// strictly increase every granted epoch while unfinished).  ~0 =
+    /// never checkpointed.
+    std::uint64_t checkpointed_units = ~0ull;
   };
 
   void finish_campaign(Campaign&& campaign);
@@ -149,6 +204,14 @@ class CampaignServer {
   void fail_campaign(Campaign&& campaign);
   void fill_status(const Campaign& campaign, StatusReply& reply) const;
   [[nodiscard]] std::string checkpoint_path(std::uint64_t campaign_id) const;
+  /// The resident engine (created on first use; persistent worker pool).
+  parallel::SuperstepEngine& engine();
+  /// The async writer (created on first use; also makes checkpoint_dir).
+  CheckpointWriter& writer();
+  /// Serializes dirty campaigns and queues their writes (no flush).
+  /// Returns the bytes serialized; accumulates the critical-path timer.
+  std::uint64_t enqueue_dirty_checkpoints();
+  void record_probe_latency(double seconds);
 
   ServerConfig config_;
   OracleHub hub_;
@@ -159,7 +222,12 @@ class CampaignServer {
   std::uint64_t epochs_run_ = 0;
   std::uint64_t starved_epochs_count_ = 0;
   std::uint64_t failed_count_ = 0;
-  std::vector<double> probe_latency_seconds_;
+  std::unique_ptr<parallel::SuperstepEngine> engine_;
+  std::unique_ptr<CheckpointWriter> writer_;
+  double checkpoint_critical_seconds_ = 0.0;
+  // Rolling latency window (ring buffer; latency_next_ wraps).
+  std::vector<double> latency_window_;
+  std::size_t latency_next_ = 0;
 
   obs::Counter* submitted_;
   obs::Counter* rejected_;

@@ -1,6 +1,7 @@
 #include "util/simd/weight_kernels.hpp"
 
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 
@@ -45,18 +46,27 @@ void scalar_scale_divide(double* w, std::size_t n, double divisor) {
   for (std::size_t i = 0; i < n; ++i) w[i] /= divisor;
 }
 
-void scalar_materialize_affine(double* dst, const double* src, std::size_t n,
-                               double scale, double denom, double shift) {
-  for (std::size_t i = 0; i < n; ++i) {
-    dst[i] = (scale * src[i]) / denom + shift;
-  }
-}
-
 void scalar_materialize_counts(double* dst, const std::uint32_t* src,
                                std::size_t n, double denom) {
   for (std::size_t i = 0; i < n; ++i) {
     dst[i] = static_cast<double>(src[i]) / denom;
   }
+}
+
+std::uint64_t scalar_mask_or_gather(const std::uint64_t* masks,
+                                    const std::uint32_t* idx, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= masks[idx[i]];
+  return acc;
+}
+
+std::size_t scalar_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
 }
 
 double scalar_fenwick_rebuild(double* w, double* tree, std::size_t n,
@@ -71,10 +81,16 @@ double scalar_fenwick_rebuild(double* w, double* tree, std::size_t n,
 }
 
 constexpr WeightKernels kScalarKernels = {
-    scalar_pow_update,         scalar_exp_update,
-    scalar_max_reduce,         scalar_argmax,
-    scalar_scale_divide,       scalar_materialize_affine,
-    scalar_materialize_counts, scalar_fenwick_rebuild,
+    scalar_pow_update,
+    scalar_exp_update,
+    scalar_max_reduce,
+    scalar_argmax,
+    scalar_scale_divide,
+    detail::materialize_affine_portable,
+    scalar_materialize_counts,
+    scalar_mask_or_gather,
+    scalar_popcount_and,
+    scalar_fenwick_rebuild,
     "scalar",
 };
 

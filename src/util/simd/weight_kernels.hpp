@@ -67,6 +67,19 @@ struct WeightKernels {
   /// conversion is exact; the signed-lane AVX2 convert requires the bound).
   void (*materialize_counts)(double* dst, const std::uint32_t* src,
                              std::size_t n, double denom);
+  /// OR-reduction of gathered 64-bit test masks: returns
+  /// masks[idx[0]] | masks[idx[1]] | ... | masks[idx[n-1]].  Bitwise OR is
+  /// exact and order-free, so the gathered AVX2 fold is trivially
+  /// bit-identical to the scalar loop.  The probe wave's "broken tests"
+  /// accumulation (DESIGN.md §14) runs on this.
+  std::uint64_t (*mask_or_gather)(const std::uint64_t* masks,
+                                  const std::uint32_t* idx, std::size_t n);
+  /// Sum of popcount(a[i] & b[i]) over i — bitset intersection
+  /// cardinality.  Integer AND + population count are exact, so dispatch
+  /// cannot perturb the result.  The probe wave counts safe / relevant
+  /// patch members against pool-membership bitmaps with this.
+  std::size_t (*popcount_and)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
   /// The fused renormalize → Fenwick-rebuild pass: divides w by `divisor`
   /// in place (skipped exactly when divisor == 1.0), rebuilds the 1-based
   /// Fenwick tree (`tree` must hold n + 1 doubles; prior contents ignored)
@@ -109,6 +122,20 @@ void force_scalar_for_testing(bool force) noexcept;
 [[nodiscard]] const WeightKernels* avx2_kernels() noexcept;
 
 namespace detail {
+
+/// The one shared materialize_affine body: dst[i] = scale*src[i]/denom +
+/// shift, one IEEE op sequence per element.  The pass is divide-bound —
+/// vdivpd's reciprocal throughput dominates whatever lane-parallelism
+/// buys — so both dispatch tables point here and the bench's
+/// kernel_materialize row honestly reports ~1.0x instead of advertising a
+/// vectorization that measured 0.99x.
+inline void materialize_affine_portable(double* dst, const double* src,
+                                        std::size_t n, double scale,
+                                        double denom, double shift) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = (scale * src[i]) / denom + shift;
+  }
+}
 
 /// Single-source Fenwick construction shared by both dispatch TUs (each
 /// instantiates it with its own 4-wide divide; that divide is the only

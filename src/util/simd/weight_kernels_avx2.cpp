@@ -15,6 +15,8 @@
 //                     == std::max_element's first occurrence (no NaNs).
 //   scale_divide /    one IEEE op sequence per element (vdivpd, vmulpd,
 //   materialize_*     vaddpd — never vfmadd), so lanes equal scalar ops.
+//   mask_or_gather /  pure integer bit ops (gather-OR, AND + popcnt):
+//   popcount_and      exact on every path, identical by construction.
 //   fenwick_rebuild   shared scalar construction (detail::
 //                     fenwick_rebuild_impl); only the 4-wide divide is
 //                     vectorized.
@@ -24,6 +26,7 @@
 
 #include <immintrin.h>
 
+#include <bit>
 #include <cmath>
 
 namespace mwr::util::simd {
@@ -138,22 +141,9 @@ void avx2_scale_divide(double* w, std::size_t n, double divisor) {
   for (std::size_t i = n4; i < n; ++i) w[i] /= divisor;
 }
 
-void avx2_materialize_affine(double* dst, const double* src, std::size_t n,
-                             double scale, double denom, double shift) {
-  const __m256d vs = _mm256_set1_pd(scale);
-  const __m256d vd = _mm256_set1_pd(denom);
-  const __m256d vf = _mm256_set1_pd(shift);
-  const std::size_t n4 = n & ~std::size_t{3};
-  for (std::size_t i = 0; i < n4; i += 4) {
-    const __m256d v = _mm256_loadu_pd(src + i);
-    _mm256_storeu_pd(
-        dst + i,
-        _mm256_add_pd(_mm256_div_pd(_mm256_mul_pd(vs, v), vd), vf));
-  }
-  for (std::size_t i = n4; i < n; ++i) {
-    dst[i] = (scale * src[i]) / denom + shift;
-  }
-}
+// materialize_affine is divide-bound: the vdivpd version measured 0.99x
+// against scalar, so the dispatch row routes to the shared portable body
+// (detail::materialize_affine_portable) instead of pretending to vectorize.
 
 void avx2_materialize_counts(double* dst, const std::uint32_t* src,
                              std::size_t n, double denom) {
@@ -170,6 +160,49 @@ void avx2_materialize_counts(double* dst, const std::uint32_t* src,
   }
 }
 
+std::uint64_t avx2_mask_or_gather(const std::uint64_t* masks,
+                                  const std::uint32_t* idx, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128i lanes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_or_si256(
+        acc, _mm256_i32gather_epi64(
+                 reinterpret_cast<const long long*>(masks), lanes, 8));
+  }
+  alignas(32) std::uint64_t words[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(words), acc);
+  std::uint64_t result = words[0] | words[1] | words[2] | words[3];
+  for (std::size_t i = n4; i < n; ++i) result |= masks[idx[i]];
+  return result;
+}
+
+std::size_t avx2_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  // No vector popcount below AVX-512: AND four words per iteration, then
+  // scalar popcnt each lane (integer ops are exact — identity is free).
+  std::size_t total = 0;
+  const std::size_t n4 = n & ~std::size_t{3};
+  alignas(32) std::uint64_t words[4];
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(words),
+                       _mm256_and_si256(va, vb));
+    total += static_cast<std::size_t>(std::popcount(words[0])) +
+             static_cast<std::size_t>(std::popcount(words[1])) +
+             static_cast<std::size_t>(std::popcount(words[2])) +
+             static_cast<std::size_t>(std::popcount(words[3]));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
 double avx2_fenwick_rebuild(double* w, double* tree, std::size_t n,
                             double divisor) {
   return detail::fenwick_rebuild_impl(
@@ -180,10 +213,16 @@ double avx2_fenwick_rebuild(double* w, double* tree, std::size_t n,
 }
 
 constexpr WeightKernels kAvx2Kernels = {
-    avx2_pow_update,         avx2_exp_update,
-    avx2_max_reduce,         avx2_argmax,
-    avx2_scale_divide,       avx2_materialize_affine,
-    avx2_materialize_counts, avx2_fenwick_rebuild,
+    avx2_pow_update,
+    avx2_exp_update,
+    avx2_max_reduce,
+    avx2_argmax,
+    avx2_scale_divide,
+    detail::materialize_affine_portable,
+    avx2_materialize_counts,
+    avx2_mask_or_gather,
+    avx2_popcount_and,
+    avx2_fenwick_rebuild,
     "avx2",
 };
 

@@ -1,0 +1,25 @@
+// Fixture: src/serve/checkpoint.cpp is whitelisted BY EXACT FILENAME for
+// the raw-ipc rule — it is the checkpoint codec's one audited durable-write
+// seam (tmp file + ::write + fsync + rename; durability needs raw fds).
+// This stand-in uses the banned vocabulary and must lint clean with zero
+// suppressions; its siblings under src/serve/ enjoy no such liberty (see
+// bad/raw-ipc-serve/).
+extern "C" {
+int open(const char*, int, ...);
+long write(int, const void*, unsigned long);
+int fsync(int);
+int close(int);
+}
+
+namespace fixture::serve {
+
+bool durable_write(const char* path, const void* bytes, unsigned long n) {
+  const int fd = open(path, 0);
+  if (fd < 0) return false;
+  const bool ok = ::write(fd, bytes, n) == static_cast<long>(n) &&
+                  fsync(fd) == 0;
+  close(fd);
+  return ok;
+}
+
+}  // namespace fixture::serve

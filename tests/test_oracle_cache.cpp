@@ -4,6 +4,7 @@
 // cache traffic must surface through the obs counters / metrics JSON.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,46 @@ TEST(OracleCache, PrimedPooledProbesBitIdentical) {
     const auto patch =
         sample_from_pool(pool.mutations(), 2 + rng.uniform_index(30), rng);
     EXPECT_EQ(uncached.evaluate(patch), cached.evaluate(patch));
+  }
+}
+
+TEST(OracleCache, WaveEvaluatePooledBitIdentical) {
+  // The probe wave's eager fast path (prime_wave + evaluate_pooled) must
+  // agree bit-for-bit with the uncached reference on index-sampled pool
+  // patches — including the localized-coverage branch — and the indexed
+  // sampler must consume the RNG exactly like sample_from_pool.
+  for (const bool localized : {false, true}) {
+    const ProgramModel program(cache_spec(localized));
+    const TestOracle uncached(program, false);
+    const TestOracle waved(program, true);
+
+    PoolConfig config;
+    config.target_size = 300;
+    config.seed = 5;
+    const auto pool = MutationPool::precompute(uncached, config);
+    ASSERT_GT(pool.size(), 0u);
+    waved.prime_wave(pool.mutations());
+    ASSERT_TRUE(waved.wave_ready());
+
+    util::RngStream rng_ref(33);
+    util::RngStream rng_idx(33);
+    std::vector<std::uint32_t> indices;
+    for (int trial = 0; trial < 400; ++trial) {
+      const std::size_t size = 2 + rng_ref.uniform_index(30);
+      ASSERT_EQ(size, 2 + rng_idx.uniform_index(30));
+      const auto patch = sample_from_pool(pool.mutations(), size, rng_ref);
+      sample_from_pool_indexed(pool.size(), size, rng_idx, indices);
+      // Indexed draws name the identical canonical patch...
+      ASSERT_EQ(patch.size(), indices.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        ASSERT_EQ(patch[i], pool.mutations()[indices[i]])
+            << "localized=" << localized << " trial=" << trial;
+      }
+      // ...and both RNG streams stay in lockstep.
+      ASSERT_EQ(rng_ref.state(), rng_idx.state());
+      EXPECT_EQ(uncached.evaluate(patch), waved.evaluate_pooled(indices))
+          << "localized=" << localized << " trial=" << trial;
+    }
   }
 }
 

@@ -186,12 +186,15 @@ RULES = [
         ],
         bit_identity_only=False,
         # The fabric itself (rings, sockets, fork-based launcher) plus the
-        # campaign server's control socket — exactly one file in src/serve
-        # may touch the OS; the rest of the subsystem (codecs, scheduler,
-        # checkpointing, the server) must stay IPC-free.
+        # campaign server's two audited OS seams: the control socket, and
+        # the checkpoint codec's durable-write path (tmp + ::write + fsync
+        # + rename — durability needs raw fds; iostreams cannot fsync).
+        # The rest of the subsystem (payload codecs, scheduler, the server
+        # itself) must stay IPC-free.
         whitelist=(
             "src/parallel/transport/",
             "src/serve/control_socket.cpp",
+            "src/serve/checkpoint.cpp",
         ),
     ),
     Rule(
